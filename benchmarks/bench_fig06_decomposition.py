@@ -1,0 +1,64 @@
+"""Figure 6: latency decomposition of hit and miss paths (both designs).
+
+The paper's Figure 6 is drawn "not to scale"; this benchmark produces it
+to scale from the configured machine: each row is one path, each column
+one latency component, in 3 GHz core cycles.
+
+- (TLB hit, cache hit): SRAM-tag pays TLB + tags + in-package DRAM;
+  tagless pays TLB + in-package DRAM -- the deleted tag check *is* the
+  design's latency advantage.
+- (TLB miss, cache miss): SRAM-tag pays walk + tags + off-package fill;
+  tagless pays walk + off-package fill + the GIPT update -- the extra
+  cost the design accepts on the rare path to win the common one.
+"""
+
+from conftest import bench_accesses  # noqa: F401
+
+from repro.analysis.report import format_table
+from repro.common.config import default_system
+
+
+def build_decomposition():
+    cfg = default_system()
+    core = cfg.core
+    tag = float(cfg.sram_tag.access_cycles)
+    walk = float(cfg.tlb.walk_cycles)
+    in_block = core.cycles_from_ns(
+        cfg.in_package.row_empty_ns(64) + cfg.in_package.controller_ns
+    )
+    off_block = core.cycles_from_ns(
+        cfg.off_package.row_empty_ns(64) + cfg.off_package.controller_ns
+    )
+    gipt = 2 * core.cycles_from_ns(cfg.off_package.row_hit_ns(64))
+
+    rows = [
+        ["hit/hit", "sram", 0.0, tag, in_block, 0.0, 0.0,
+         tag + in_block],
+        ["hit/hit", "tagless", 0.0, 0.0, in_block, 0.0, 0.0, in_block],
+        ["miss/miss", "sram", walk, tag, 0.0, off_block, 0.0,
+         walk + tag + off_block],
+        ["miss/miss", "tagless", walk, 0.0, 0.0, off_block, gipt,
+         walk + off_block + gipt],
+    ]
+    table = format_table(
+        "Figure 6 (to scale): latency decomposition in cycles",
+        ["case", "design", "page walk", "SRAM tags", "in-pkg DRAM",
+         "off-pkg DRAM (critical block)", "GIPT", "total"],
+        rows,
+        float_format="{:.1f}",
+    )
+    totals = {(r[0], r[1]): r[-1] for r in rows}
+    return table, totals
+
+
+def test_fig06_decomposition(benchmark, record_table):
+    table, totals = benchmark.pedantic(build_decomposition, rounds=1,
+                                       iterations=1)
+    record_table("fig06", table)
+    # Figure 6a: the tagless hit path is strictly shorter.
+    assert totals[("hit/hit", "tagless")] < totals[("hit/hit", "sram")]
+    # Figure 6b: on the cold-miss path tagless saves the tag check but
+    # pays the GIPT update; the two are the same order of magnitude.
+    sram_miss = totals[("miss/miss", "sram")]
+    tagless_miss = totals[("miss/miss", "tagless")]
+    assert abs(tagless_miss - sram_miss) / sram_miss < 0.5

@@ -1,0 +1,29 @@
+"""Figure 7: IPC and EDP of 11 single-programmed SPEC CPU 2006 programs
+across the five designs, normalised to No-L3.
+
+Paper's headline numbers for this figure: BI +4.0 % IPC, SRAM-tag
++16.4 %, tagless +24.9 % (within 11.8 % of ideal); tagless beats
+SRAM-tag on EDP by 26.5 %.  The *shape* asserted below: strict design
+ordering on the geomean and a large tagless EDP win.
+"""
+
+from conftest import bench_accesses
+
+from repro.analysis.experiments import run_single_programmed
+
+
+def run_figure7():
+    return run_single_programmed(accesses=bench_accesses(100_000))
+
+
+def test_fig07_spec_ipc_edp(benchmark, record_table):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    record_table("fig07", result.ipc_table(), result.edp_table())
+
+    # Shape checks (the paper's ordering, not its absolute numbers).
+    gm = {d: result.geomean_ipc(d) for d in result.designs}
+    assert gm["no-l3"] < gm["bi"] < gm["sram"] < gm["tagless"] <= gm["ideal"]
+    edp = {d: result.geomean_edp(d) for d in result.designs}
+    assert edp["tagless"] < edp["sram"] < edp["no-l3"]
+    # BI is a small improvement (paper: ~4 %).
+    assert 1.0 < gm["bi"] < 1.12

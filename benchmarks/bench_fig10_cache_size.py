@@ -1,0 +1,36 @@
+"""Figure 10: IPC sensitivity to DRAM cache size (256 MB/512 MB/1 GB),
+normalised to bank-interleaving.
+
+Paper: at 256 MB both caches *lose* to BI by ~30 % (thrashing page
+migrations); from 512 MB up the caches win, with tagless ahead at the
+large end.
+"""
+
+from conftest import bench_accesses
+
+from repro.analysis.experiments import run_cache_size_sweep
+
+
+def run_figure10():
+    return run_cache_size_sweep(accesses=bench_accesses(50_000))
+
+
+def test_fig10_cache_size(benchmark, record_table):
+    result = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    record_table("fig10", result.table())
+
+    # The crossover: both designs below BI at 256 MB, above it at 1 GB.
+    for design in ("sram", "tagless"):
+        assert result.geomean_ipc(256, design) < 1.0
+        assert result.geomean_ipc(1024, design) > 1.0
+    # Monotone improvement with capacity for the tagless cache.  (The
+    # SRAM-tag series may dip slightly at the top because the BI
+    # normaliser also improves with a larger in-package region.)
+    tagless_series = [result.geomean_ipc(size, "tagless")
+                      for size in result.sizes_mb]
+    assert tagless_series == sorted(tagless_series)
+    assert result.geomean_ipc(512, "sram") > result.geomean_ipc(256, "sram")
+    # Tagless benefits most from the large cache (paper: consistently
+    # outperforms SRAM-tag for large sizes).
+    assert result.geomean_ipc(1024, "tagless") >= result.geomean_ipc(
+        1024, "sram") * 0.99

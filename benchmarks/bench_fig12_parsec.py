@@ -1,0 +1,34 @@
+"""Figure 12: multi-threaded PARSEC (4 threads, shared address space).
+
+Paper: streamcluster and facesim (high page reuse, high MPKI) gain --
+streamcluster the most; swaptions and fluidanimate (singleton-heavy,
+low MPKI) see little to no improvement.
+"""
+
+from conftest import bench_accesses
+
+from repro.analysis.experiments import run_parsec
+
+
+def run_figure12():
+    return run_parsec(accesses=bench_accesses(60_000))
+
+
+def test_fig12_parsec(benchmark, record_table):
+    result = benchmark.pedantic(run_figure12, rounds=1, iterations=1)
+    record_table("fig12", result.ipc_table(), result.edp_table())
+
+    ipc = {p: result.normalized_ipc(p) for p in result.programs}
+    # streamcluster is the biggest winner of the four.
+    gains = {p: ipc[p]["tagless"] for p in result.programs}
+    assert max(gains, key=gains.get) == "streamcluster"
+    # swaptions barely moves (low MPKI -> memory system irrelevant).
+    assert gains["swaptions"] < 1.10
+    # The reuse-heavy programs gain substantially and tagless beats the
+    # SRAM-tag baseline on them (paper: +0.6 % for streamcluster, EDP
+    # win for facesim).
+    for program in ("streamcluster", "facesim"):
+        assert gains[program] > 1.10
+        assert ipc[program]["tagless"] >= ipc[program]["sram"] * 0.99
+        edp = result.normalized_edp(program)
+        assert edp["tagless"] < edp["sram"]

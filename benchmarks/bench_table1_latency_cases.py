@@ -1,0 +1,65 @@
+"""Table 1 (and Figure 6): the four (TLB, DRAM cache) latency cases.
+
+Micro-traces force each case through the real tagless design and report
+the measured end-to-end cycles, reproducing the table's qualitative
+entries: hit/hit has zero penalty, the victim hit costs only the TLB
+miss, the NC case costs an off-package block, and the full miss pays
+the cache fill + GIPT update.
+"""
+
+import dataclasses
+
+from conftest import bench_accesses  # noqa: F401  (uniform import shape)
+
+from repro.analysis.report import format_table
+from repro.common.config import default_system
+from repro.designs.tagless_design import TaglessDesign
+
+
+def measure_cases():
+    config = dataclasses.replace(
+        default_system(cache_megabytes=1024, num_cores=1,
+                       capacity_scale=64),
+    )
+    design = TaglessDesign(config)
+    entries = config.scaled_tlb.l2_entries
+
+    # Case 4: TLB miss + cache miss (first touch: fill + GIPT update).
+    case4 = design.access(0, 0, 0, 0, False, 0.0).cycles
+    # Case 1: TLB hit + cache hit.
+    case1 = design.access(0, 0, 0, 1, False, 1_000.0).cycles
+    # Case 2: TLB hit + cache miss (NC page).
+    design.set_non_cacheable(0, 7)
+    design.access(0, 0, 7, 0, False, 2_000.0)
+    case2 = design.access(0, 0, 7, 1, False, 3_000.0).cycles
+    # Case 3: TLB miss + cache hit (victim hit): push page 0 out of the
+    # TLB, then return to it.
+    now = 10_000.0
+    for i in range(entries + 2):
+        design.access(0, 0, 100 + i, 0, False, now)
+        now += 1_000.0
+    case3 = design.access(0, 0, 0, 2, False, now).cycles
+
+    rows = [
+        ["hit", "hit", "cache hit, zero penalty", case1],
+        ["hit", "miss", "non-cacheable page, off-package block", case2],
+        ["miss", "hit", "in-package victim hit (walk only)", case3],
+        ["miss", "miss", "cache fill + GIPT update", case4],
+    ]
+    table = format_table(
+        "Table 1: measured latency of the four memory-access cases "
+        "(cycles, tagless design)",
+        ["TLB", "DRAM cache", "description", "cycles"],
+        rows,
+        float_format="{:.1f}",
+    )
+    return table, (case1, case2, case3, case4)
+
+
+def test_table1_latency_cases(benchmark, record_table):
+    table, (case1, case2, case3, case4) = benchmark.pedantic(
+        measure_cases, rounds=1, iterations=1
+    )
+    record_table("table1", table)
+    assert case1 < case3 < case4
+    assert case1 < case2 < case4

@@ -1,0 +1,55 @@
+"""Table 4: DRAM timing/energy parameters -- and their derived menu.
+
+Prints the raw Table 4 constants plus the latencies and energies the
+simulator derives from them (block access, page fill, transfer times),
+so every number entering the evaluation is inspectable in one place.
+"""
+
+from conftest import bench_accesses  # noqa: F401
+
+from repro.analysis.report import format_table
+from repro.common.addressing import CACHE_LINE_BYTES, PAGE_BYTES
+from repro.common.config import default_system
+from repro.dram.device import DRAMDevice
+
+
+def build_table4():
+    cfg = default_system()
+    rows = []
+    devices = {}
+    for label, timing, energy in (
+        ("in-package", cfg.in_package, cfg.in_package_energy),
+        ("off-package", cfg.off_package, cfg.off_package_energy),
+    ):
+        device = DRAMDevice(timing, energy)
+        devices[label] = device
+        block_ns = timing.row_empty_ns(CACHE_LINE_BYTES) + timing.controller_ns
+        rows.append([
+            label,
+            f"{timing.trcd_ns:.0f}/{timing.taa_ns:.0f}/"
+            f"{timing.tras_ns:.0f}/{timing.trp_ns:.0f}",
+            f"{timing.bytes_per_ns:.1f}GB/s",
+            f"{block_ns:.1f}ns",
+            f"{timing.transfer_ns(PAGE_BYTES):.0f}ns",
+            f"{energy.access_nj(CACHE_LINE_BYTES, 1):.1f}nJ",
+            f"{energy.access_nj(PAGE_BYTES, 1):.0f}nJ",
+        ])
+    table = format_table(
+        "Table 4: DRAM device parameters and derived access costs",
+        ["device", "tRCD/tAA/tRAS/tRP", "bandwidth", "64B access",
+         "4KB stream", "64B energy", "4KB energy"],
+        rows,
+    )
+    return table, devices
+
+
+def test_table4_dram_params(benchmark, record_table):
+    table, devices = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    record_table("table4", table)
+    in_pkg, off_pkg = devices["in-package"], devices["off-package"]
+    # In-package: 4x bandwidth, lower latency, cheaper energy (Table 4).
+    assert in_pkg.timing.bytes_per_ns == 4 * off_pkg.timing.bytes_per_ns
+    assert (in_pkg.timing.row_empty_ns(64)
+            < off_pkg.timing.row_empty_ns(64))
+    assert (in_pkg.energy.config.access_nj(64)
+            < off_pkg.energy.config.access_nj(64))

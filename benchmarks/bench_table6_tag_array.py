@@ -1,0 +1,49 @@
+"""Table 6: SRAM tag-array size and access latency vs DRAM cache size.
+
+Regenerates the table from the model in
+:func:`repro.common.config.tag_array_parameters` and, as a live check,
+probes an actual :class:`repro.sram.tag_array.SRAMTagArray` per size.
+"""
+
+from conftest import bench_accesses  # noqa: F401
+
+from repro.analysis.report import format_table
+from repro.common.addressing import BYTES_PER_MB, PAGE_BYTES
+from repro.common.config import SRAMTagConfig, tag_array_parameters
+from repro.sram.tag_array import SRAMTagArray
+
+
+def build_table6():
+    rows = []
+    arrays = {}
+    for cache_mb in (128, 256, 512, 1024):
+        cache_bytes = cache_mb * BYTES_PER_MB
+        tag_mb, cycles = tag_array_parameters(cache_bytes)
+        config = SRAMTagConfig(cache_bytes=cache_bytes)
+        # A scaled-down live array with the same cost model.
+        array = SRAMTagArray(
+            capacity_pages=cache_bytes // PAGE_BYTES // 64, config=config
+        )
+        arrays[cache_mb] = array
+        rows.append(
+            [f"{cache_mb}MB", f"{tag_mb:.1f}MB", cycles,
+             f"{config.probe_nj:.2f}nJ", f"{config.leakage_watts:.2f}W"]
+        )
+    table = format_table(
+        "Table 6: SRAM tag parameters vs DRAM cache size",
+        ["cache size", "tag size", "latency (cycles)", "probe energy",
+         "leakage"],
+        rows,
+    )
+    return table, arrays
+
+
+def test_table6_tag_array(benchmark, record_table):
+    table, arrays = benchmark.pedantic(build_table6, rounds=1, iterations=1)
+    record_table("table6", table)
+    # The paper's exact values.
+    assert arrays[128].access_cycles == 5
+    assert arrays[256].access_cycles == 6
+    assert arrays[512].access_cycles == 9
+    assert arrays[1024].access_cycles == 11
+    assert arrays[1024].config.tag_megabytes == 4.0

@@ -1,0 +1,25 @@
+"""End-to-end validation: every headline claim graded in one run.
+
+Wraps :func:`repro.analysis.validate.run_validation` -- the same harness
+behind ``python -m repro.cli validate`` -- as a benchmark, so the full
+claim scorecard regenerates alongside the figures.
+"""
+
+from conftest import bench_accesses
+
+from repro.analysis.validate import run_validation
+
+
+def run():
+    single = bench_accesses(40_000)
+    return run_validation(
+        single_accesses=single,
+        mix_accesses=max(10_000, single * 3 // 4),
+    )
+
+
+def test_validation_scorecard(benchmark, record_table):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("validation", report.table())
+    failed = [r.claim_id for r in report.results if not r.passed]
+    assert report.passed, f"failed claims: {failed}"

@@ -1,0 +1,43 @@
+"""Shared plumbing for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+paper-style text table, and archives it under ``benchmarks/results/`` so
+EXPERIMENTS.md can be refreshed by diffing that directory.
+
+Scale knobs: the environment variable ``REPRO_BENCH_ACCESSES`` overrides
+the per-core trace length (default 100k single-programmed / 70k per core
+multi-programmed), trading fidelity for runtime.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_accesses(default: int) -> int:
+    """Per-core trace length for a benchmark, env-overridable."""
+    override = os.environ.get("REPRO_BENCH_ACCESSES")
+    if override:
+        return int(override)
+    return default
+
+
+@pytest.fixture
+def record_table(request):
+    """Returns a function that prints a table and archives it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(name: str, *tables: str) -> None:
+        text = "\n\n".join(tables) + "\n"
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text)
+        print()
+        print(text)
+
+    return _record

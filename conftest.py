@@ -1,0 +1,11 @@
+"""Repo-root pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+pip-installed (offline environments without the ``wheel`` package cannot
+build PEP-517 editable installs).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Analytic AMAT explorer: Equations 1-5 without running a simulation.
+
+The paper's average-memory-access-time model makes the design trade-off
+explicit: the SRAM-tag cache pays ``AccessTime_SRAM-tag`` on *every* L3
+access, while the tagless cache moves all management cost into the cTLB
+miss penalty (Equation 5).  This example sweeps the two rates that
+govern the trade-off -- the cTLB miss rate and the victim miss rate --
+and prints where each design wins.
+
+Run:  python examples/amat_model_explorer.py
+"""
+
+import dataclasses
+
+from repro.analysis.amat import (
+    AMATInputs,
+    amat_sram_tag,
+    amat_tagless,
+    tagless_advantage,
+)
+from repro.analysis.report import format_table
+from repro.common.config import default_system
+
+
+def baseline_inputs() -> AMATInputs:
+    """Parameter point derived from the Table 3/4/6 machine."""
+    cfg = default_system()
+    block_in = cfg.core.cycles_from_ns(
+        cfg.in_package.row_empty_ns(64) + cfg.in_package.controller_ns
+    )
+    page_off = cfg.core.cycles_from_ns(
+        cfg.off_package.row_empty_ns(64) + cfg.off_package.controller_ns
+    )
+    return AMATInputs(
+        tlb_miss_rate=0.03,
+        tlb_miss_penalty=float(cfg.tlb.walk_cycles),
+        l12_hit_time=4.0,
+        l12_miss_rate=0.35,
+        tag_time=float(cfg.sram_tag.access_cycles),
+        block_time_in_pkg=block_in,
+        page_time_off_pkg=page_off,
+        l3_miss_rate=0.03,
+        victim_miss_rate=0.15,
+        gipt_time=40.0,
+    )
+
+
+def main() -> None:
+    base = baseline_inputs()
+    print(f"Machine point: tag check {base.tag_time:.0f} cycles, "
+          f"in-package block {base.block_time_in_pkg:.0f} cycles, "
+          f"page fill critical block {base.page_time_off_pkg:.0f} cycles")
+    print(f"AMAT SRAM-tag : {amat_sram_tag(base):6.2f} cycles")
+    print(f"AMAT tagless  : {amat_tagless(base):6.2f} cycles")
+    print()
+
+    rows = []
+    for tlb_miss in (0.01, 0.03, 0.06, 0.12, 0.25):
+        row = [f"{tlb_miss:.2f}"]
+        for victim_miss in (0.0, 0.2, 0.5, 1.0):
+            point = dataclasses.replace(
+                base, tlb_miss_rate=tlb_miss, victim_miss_rate=victim_miss
+            )
+            advantage = tagless_advantage(point)
+            row.append(f"{advantage:+.1f}")
+        rows.append(row)
+
+    print(format_table(
+        "Tagless AMAT advantage in cycles (positive = tagless wins) "
+        "by cTLB miss rate (rows) and victim miss rate (columns)",
+        ["cTLB miss", "vm=0.0", "vm=0.2", "vm=0.5", "vm=1.0"],
+        rows,
+    ))
+    print()
+    print("The victim cache is what keeps the tagless design safe: even "
+          "with a high cTLB miss rate, most misses land on still-cached "
+          "pages (victim hits) and cost only the walk.  Only when both "
+          "rates are high does fill-at-TLB-miss overtake the per-access "
+          "tag check it eliminated.")
+
+
+if __name__ == "__main__":
+    main()

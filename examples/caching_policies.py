@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Pluggable caching policies: the tagless design's software advantage.
+
+Section 3.5 of the paper argues that because all cache management lives
+in the TLB miss handler, caching *policy* becomes a software decision.
+This example runs GemsFDTD (high MPKI, many low-reuse pages) under three
+policies plugged into the very same handler:
+
+- always-cache (the paper's evaluated default);
+- an offline profile that pins low-reuse pages non-cacheable
+  (the Section 5.4 case study, productised);
+- an online CHOP-style touch-count filter that needs no profile.
+
+Run:  python examples/caching_policies.py
+"""
+
+from repro import BoundTrace, Simulator, default_system
+from repro.analysis.report import format_table
+from repro.policy import (
+    AlwaysCachePolicy,
+    StaticProfilePolicy,
+    TouchCountFilterPolicy,
+)
+from repro.workloads import TraceGenerator, spec_profile
+
+
+def main() -> None:
+    config = default_system(cache_megabytes=1024, num_cores=1,
+                            capacity_scale=64)
+    trace = TraceGenerator(
+        spec_profile("GemsFDTD"), capacity_scale=64
+    ).generate(120_000)
+    bindings = [BoundTrace(core_id=0, process_id=0, trace=trace)]
+    simulator = Simulator(config)
+
+    policies = {
+        "always-cache": AlwaysCachePolicy(),
+        "offline profile (<32)": StaticProfilePolicy.from_traces(
+            {0: trace}, threshold=32
+        ),
+        "online touch filter (2)": TouchCountFilterPolicy(
+            threshold=2, decay_interval_ns=5e5
+        ),
+    }
+
+    rows = []
+    for name, policy in policies.items():
+        result = simulator.run("tagless", bindings, caching_policy=policy)
+        stats = result.stats
+        rows.append([
+            name,
+            result.ipc_sum,
+            stats["engine_fills"],
+            stats["offpkg_read_bytes"] / 1e6,
+            stats.get("policy_bypasses", 0)
+            + stats.get("policy_pinned", 0),
+        ])
+
+    print(format_table(
+        "GemsFDTD under three caching policies (same handler, same "
+        "hardware)",
+        ["policy", "IPC", "cache fills", "off-pkg reads (MB)",
+         "bypassed/pinned decisions"],
+        rows,
+    ))
+    print()
+    print("The offline profile avoids filling pages that will never "
+          "earn their 4 KB transfer; the online filter gets most of "
+          "that benefit with no profiling pass, at the cost of serving "
+          "each page's first TLB window from off-package DRAM.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Non-cacheable pages: software-managed caching policy (Section 5.4).
+
+The tagless design keeps the entire caching policy in the TLB miss
+handler, so software can flag pages as non-cacheable (NC) and they
+bypass the DRAM cache entirely.  The paper's case study profiles
+459.GemsFDTD, flags every page with fewer than 32 accesses -- pages
+where under half of the 64 blocks are ever touched -- and gains 7.1 %
+IPC from reduced over-fetching.
+
+This example reruns that study end-to-end and sweeps the profiling
+threshold, showing how the benefit varies with classification
+aggressiveness.
+
+Run:  python examples/noncacheable_pages.py
+"""
+
+from repro import BoundTrace, Simulator, default_system
+from repro.analysis.report import format_table
+from repro.workloads import TraceGenerator, spec_profile
+
+
+def main() -> None:
+    config = default_system(cache_megabytes=1024, num_cores=1,
+                            capacity_scale=64)
+    trace = TraceGenerator(
+        spec_profile("GemsFDTD"), capacity_scale=64
+    ).generate(150_000)
+    bindings = [BoundTrace(core_id=0, process_id=0, trace=trace)]
+    simulator = Simulator(config)
+
+    # Offline profiling pass: how often is each page touched?
+    counts = trace.page_access_counts()
+    print(f"GemsFDTD model: {len(counts)} pages touched, "
+          f"{sum(1 for c in counts.values() if c < 32)} of them with "
+          "fewer than 32 accesses (singleton-ish)")
+    print()
+
+    baseline = simulator.run("tagless", bindings)
+    rows = [["(none)", 0, baseline.ipc_sum, "",
+             baseline.stats["engine_fills"]]]
+    for threshold in (8, 32, 128):
+        nc_pages = [p for p, c in counts.items() if c < threshold]
+        result = simulator.run("tagless", bindings,
+                               non_cacheable={0: nc_pages})
+        gain = (result.ipc_sum / baseline.ipc_sum - 1.0) * 100.0
+        rows.append([
+            f"< {threshold}", len(nc_pages), result.ipc_sum,
+            f"{gain:+.1f}%", result.stats["engine_fills"],
+        ])
+
+    print(format_table(
+        "Tagless IPC vs NC-classification threshold (GemsFDTD)",
+        ["threshold", "NC pages", "IPC", "gain", "cache fills"],
+        rows,
+    ))
+    print()
+    print("Flagging low-reuse pages NC avoids 4 KB fills for data that "
+          "will never be reused, freeing off-package bandwidth; but an "
+          "over-aggressive threshold pushes genuinely reusable pages "
+          "off the fast path.")
+
+
+if __name__ == "__main__":
+    main()

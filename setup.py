@@ -1,0 +1,14 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml.  This file exists so that fully
+offline environments -- where pip's PEP 517 editable path fails for lack
+of the ``wheel`` package -- can still do a development install with::
+
+    python setup.py develop --user
+
+(Or simply ``export PYTHONPATH=src``; the repository needs no build step.)
+"""
+
+from setuptools import setup
+
+setup()

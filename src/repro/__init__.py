@@ -1,0 +1,40 @@
+"""Reproduction of "A Fully Associative, Tagless DRAM Cache" (ISCA 2015).
+
+Public API tour:
+
+>>> from repro import default_system, Simulator, BoundTrace
+>>> from repro.workloads import TraceGenerator, spec_profile
+>>> config = default_system(cache_megabytes=1024, num_cores=1)
+>>> trace = TraceGenerator(spec_profile("mcf"),
+...                        capacity_scale=config.capacity_scale).generate(20_000)
+>>> result = Simulator(config).run("tagless",
+...                                [BoundTrace(core_id=0, process_id=0, trace=trace)])
+>>> result.ipc_sum > 0
+True
+
+Packages: :mod:`repro.common` (config/addressing/stats),
+:mod:`repro.dram` (device models), :mod:`repro.sram` (on-die caches and
+the SRAM tag array), :mod:`repro.vm` (page table, TLBs, walker),
+:mod:`repro.core` (the tagless cache itself), :mod:`repro.designs` (the
+five evaluated organisations), :mod:`repro.cpu` (core model + simulator),
+:mod:`repro.workloads` (synthetic SPEC/PARSEC trace models) and
+:mod:`repro.analysis` (AMAT equations, energy/EDP, experiment runners).
+"""
+
+from repro.common.config import SystemConfig, default_system
+from repro.cpu.multicore import BoundTrace
+from repro.cpu.simulator import SimulationResult, Simulator
+from repro.designs.registry import DESIGN_NAMES, create_design
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "default_system",
+    "BoundTrace",
+    "SimulationResult",
+    "Simulator",
+    "DESIGN_NAMES",
+    "create_design",
+    "__version__",
+]

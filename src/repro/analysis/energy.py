@@ -1,0 +1,113 @@
+"""Energy accounting and the EDP metric (Figures 7, 9, 12).
+
+The breakdown follows the paper's methodology: DRAM access energy from
+Table 4 (accumulated inside the two devices during simulation), core and
+on-die cache power in the McPAT style (constants in
+:class:`repro.common.config.EnergyModelConfig`), and -- for the SRAM-tag
+design only -- tag-array probe energy plus leakage.  The tagless design's
+"zero energy waste for cache tags" shows up here as the absence of those
+two terms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.common.addressing import BYTES_PER_MB
+from repro.cpu.multicore import CoreResult
+from repro.designs.base import MemorySystemDesign
+
+
+@dataclasses.dataclass
+class EnergyBreakdown:
+    """Per-component energy of one run, in joules."""
+
+    core_j: float
+    ondie_dynamic_j: float
+    ondie_leakage_j: float
+    tag_dynamic_j: float
+    tag_leakage_j: float
+    in_package_j: float
+    off_package_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.core_j
+            + self.ondie_dynamic_j
+            + self.ondie_leakage_j
+            + self.tag_dynamic_j
+            + self.tag_leakage_j
+            + self.in_package_j
+            + self.off_package_j
+        )
+
+    @property
+    def dram_j(self) -> float:
+        return self.in_package_j + self.off_package_j
+
+    @property
+    def tag_j(self) -> float:
+        """Total tag overhead -- zero by construction for tagless."""
+        return self.tag_dynamic_j + self.tag_leakage_j
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self) | {"total_j": self.total_j}
+
+
+def compute_energy(
+    design: MemorySystemDesign,
+    cores: List[CoreResult],
+    elapsed_ns: float,
+) -> EnergyBreakdown:
+    """Assemble the breakdown for a finished run.
+
+    Cores burn active power while executing and idle power once their
+    trace has drained (multi-programmed runs finish at different times);
+    the L2's leakage uses the *nominal* capacity since leakage scales
+    with the real array, not the simulation-scaled one.
+    """
+    cfg = design.config
+    energy_cfg = cfg.energy
+    cycle_ns = 1.0 / cfg.core.frequency_ghz
+
+    core_nj = 0.0
+    for core in cores:
+        active_ns = core.cycles * cycle_ns
+        idle_ns = max(0.0, elapsed_ns - active_ns)
+        core_nj += (
+            energy_cfg.core_active_watts * active_ns
+            + energy_cfg.core_idle_watts * idle_ns
+        )
+    # Cores with no bound trace idle for the whole run.
+    for _ in range(cfg.num_cores - len(cores)):
+        core_nj += energy_cfg.core_idle_watts * elapsed_ns
+
+    ondie_probes = 0.0
+    for hierarchy in design.ondie:
+        # Every access probes L1; L2 is probed on L1 misses.
+        ondie_probes += hierarchy.accesses
+        ondie_probes += hierarchy.l2_hits + hierarchy.misses
+    ondie_dynamic_nj = ondie_probes * energy_cfg.ondie_access_nj
+
+    l2_megabytes = cfg.num_cores * cfg.l2.capacity_bytes / BYTES_PER_MB
+    ondie_leakage_nj = (
+        energy_cfg.l2_leakage_watts_per_mb * l2_megabytes * elapsed_ns
+    )
+
+    tag_dynamic_nj = design.probe_energy_nj()
+    tag_leakage_nj = design.leakage_watts() * elapsed_ns
+
+    in_package_nj = design.in_package.energy.total_nj(elapsed_ns)
+    off_package_nj = design.off_package.energy.total_nj(elapsed_ns)
+
+    return EnergyBreakdown(
+        core_j=core_nj * 1e-9,
+        ondie_dynamic_j=ondie_dynamic_nj * 1e-9,
+        ondie_leakage_j=ondie_leakage_nj * 1e-9,
+        tag_dynamic_j=tag_dynamic_nj * 1e-9,
+        tag_leakage_j=tag_leakage_nj * 1e-9,
+        in_package_j=in_package_nj * 1e-9,
+        off_package_j=off_package_nj * 1e-9,
+    )

@@ -1,0 +1,512 @@
+"""One runner per reproduced table/figure (the paper's Section 5).
+
+Each ``run_*`` function performs the full sweep behind one figure or
+table and returns a small result object that knows how to render itself
+as a paper-style text table.  The benchmarks in ``benchmarks/`` and the
+example scripts in ``examples/`` are thin wrappers around these runners,
+so the exact same code path regenerates every number in EXPERIMENTS.md.
+
+Runtime is controlled by two knobs shared by all runners: the per-core
+trace length (``accesses``) and the capacity scale.  Defaults reproduce
+the shapes discussed in EXPERIMENTS.md in a few minutes total; tests use
+much smaller values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import format_table, normalize_to, percent_delta
+from repro.common.config import default_system
+from repro.common.stats import geometric_mean
+from repro.cpu.multicore import BoundTrace
+from repro.cpu.simulator import SimulationResult, Simulator
+from repro.designs.registry import DESIGN_NAMES
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.mixes import MIX_ORDER, mix_traces
+from repro.workloads.parsec import PARSEC_ORDER, parsec_thread_traces
+from repro.workloads.spec import SPEC_ORDER, spec_profile
+
+#: Default per-core trace length for full experiment runs.
+DEFAULT_ACCESSES = 150_000
+#: Multi-programmed runs use slightly shorter per-core traces: four cores
+#: already provide 4x the references.
+DEFAULT_MIX_ACCESSES = 100_000
+
+
+def _single_program_bindings(
+    program: str, accesses: int, capacity_scale: int
+) -> List[BoundTrace]:
+    generator = TraceGenerator(
+        spec_profile(program), capacity_scale=capacity_scale
+    )
+    return [BoundTrace(core_id=0, process_id=0,
+                       trace=generator.generate(accesses))]
+
+
+def _mix_bindings(
+    mix: str, accesses: int, capacity_scale: int
+) -> List[BoundTrace]:
+    traces = mix_traces(mix, accesses_per_program=accesses,
+                        capacity_scale=capacity_scale)
+    return [
+        BoundTrace(core_id=i, process_id=i, trace=trace)
+        for i, trace in enumerate(traces)
+    ]
+
+
+def _parsec_bindings(
+    program: str, accesses: int, capacity_scale: int, num_threads: int = 4
+) -> List[BoundTrace]:
+    traces = parsec_thread_traces(
+        program, num_threads=num_threads, accesses_per_thread=accesses,
+        capacity_scale=capacity_scale,
+    )
+    # One shared address space: every thread binds to process 0.
+    return [
+        BoundTrace(core_id=i, process_id=0, trace=trace)
+        for i, trace in enumerate(traces)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figures 7 and 8: single-programmed SPEC
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class SingleProgramResult:
+    """Per-(program, design) simulation outcomes for Figures 7 and 8."""
+
+    programs: Tuple[str, ...]
+    designs: Tuple[str, ...]
+    results: Dict[Tuple[str, str], SimulationResult]
+
+    def normalized_ipc(self, program: str) -> Dict[str, float]:
+        values = {
+            d: self.results[(program, d)].ipc_sum for d in self.designs
+        }
+        return normalize_to(values, "no-l3")
+
+    def normalized_edp(self, program: str) -> Dict[str, float]:
+        values = {d: self.results[(program, d)].edp for d in self.designs}
+        return normalize_to(values, "no-l3")
+
+    def l3_latency(self, program: str, design: str) -> float:
+        return self.results[(program, design)].mean_l3_latency_cycles
+
+    def geomean_ipc(self, design: str) -> float:
+        return geometric_mean(
+            self.normalized_ipc(p)[design] for p in self.programs
+        )
+
+    def geomean_edp(self, design: str) -> float:
+        return geometric_mean(
+            self.normalized_edp(p)[design] for p in self.programs
+        )
+
+    def ipc_table(self) -> str:
+        rows = [
+            [p] + [self.normalized_ipc(p)[d] for d in self.designs]
+            for p in self.programs
+        ]
+        rows.append(
+            ["geomean"] + [self.geomean_ipc(d) for d in self.designs]
+        )
+        return format_table(
+            "Figure 7a: IPC normalised to No-L3 (single-programmed SPEC)",
+            ["program"] + list(self.designs),
+            rows,
+        )
+
+    def edp_table(self) -> str:
+        rows = [
+            [p] + [self.normalized_edp(p)[d] for d in self.designs]
+            for p in self.programs
+        ]
+        rows.append(
+            ["geomean"] + [self.geomean_edp(d) for d in self.designs]
+        )
+        return format_table(
+            "Figure 7b: EDP normalised to No-L3 (lower is better)",
+            ["program"] + list(self.designs),
+            rows,
+        )
+
+    def l3_latency_table(self) -> str:
+        rows = []
+        for p in self.programs:
+            sram = self.l3_latency(p, "sram")
+            tagless = self.l3_latency(p, "tagless")
+            rows.append([p, sram, tagless, percent_delta(tagless, sram)])
+        sram_gm = geometric_mean(
+            self.l3_latency(p, "sram") for p in self.programs
+        )
+        tag_gm = geometric_mean(
+            self.l3_latency(p, "tagless") for p in self.programs
+        )
+        rows.append(["geomean", sram_gm, tag_gm,
+                     percent_delta(tag_gm, sram_gm)])
+        return format_table(
+            "Figure 8: average L3 access latency in cycles "
+            "(lower is better)",
+            ["program", "sram-tag", "tagless", "delta %"],
+            rows,
+        )
+
+
+def run_single_programmed(
+    programs: Sequence[str] = SPEC_ORDER,
+    designs: Sequence[str] = DESIGN_NAMES,
+    accesses: int = DEFAULT_ACCESSES,
+    capacity_scale: int = 64,
+    cache_megabytes: int = 1024,
+) -> SingleProgramResult:
+    """Run the Figure 7 / Figure 8 sweep (11 programs x 5 designs)."""
+    config = default_system(
+        cache_megabytes=cache_megabytes,
+        num_cores=1,
+        capacity_scale=capacity_scale,
+    )
+    simulator = Simulator(config)
+    results: Dict[Tuple[str, str], SimulationResult] = {}
+    for program in programs:
+        bindings = _single_program_bindings(program, accesses, capacity_scale)
+        for design in designs:
+            results[(program, design)] = simulator.run(design, bindings)
+    return SingleProgramResult(
+        programs=tuple(programs), designs=tuple(designs), results=results
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: multi-programmed mixes
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class MixResult:
+    """Per-(mix, design) outcomes for Figure 9 (and 10/11 variants)."""
+
+    mixes: Tuple[str, ...]
+    designs: Tuple[str, ...]
+    results: Dict[Tuple[str, str], SimulationResult]
+    baseline: str = "no-l3"
+
+    def normalized_ipc(self, mix: str) -> Dict[str, float]:
+        values = {d: self.results[(mix, d)].ipc_sum for d in self.designs}
+        return normalize_to(values, self.baseline)
+
+    def normalized_edp(self, mix: str) -> Dict[str, float]:
+        values = {d: self.results[(mix, d)].edp for d in self.designs}
+        return normalize_to(values, self.baseline)
+
+    def geomean_ipc(self, design: str) -> float:
+        return geometric_mean(
+            self.normalized_ipc(m)[design] for m in self.mixes
+        )
+
+    def geomean_edp(self, design: str) -> float:
+        return geometric_mean(
+            self.normalized_edp(m)[design] for m in self.mixes
+        )
+
+    def ipc_table(self, title: str = "Figure 9a: IPC normalised to No-L3 "
+                  "(multi-programmed mixes)") -> str:
+        rows = [
+            [m] + [self.normalized_ipc(m)[d] for d in self.designs]
+            for m in self.mixes
+        ]
+        rows.append(["geomean"] + [self.geomean_ipc(d) for d in self.designs])
+        return format_table(title, ["mix"] + list(self.designs), rows)
+
+    def edp_table(self, title: str = "Figure 9b: EDP normalised to No-L3 "
+                  "(lower is better)") -> str:
+        rows = [
+            [m] + [self.normalized_edp(m)[d] for d in self.designs]
+            for m in self.mixes
+        ]
+        rows.append(["geomean"] + [self.geomean_edp(d) for d in self.designs])
+        return format_table(title, ["mix"] + list(self.designs), rows)
+
+
+def run_multi_programmed(
+    mixes: Sequence[str] = MIX_ORDER,
+    designs: Sequence[str] = DESIGN_NAMES,
+    accesses: int = DEFAULT_MIX_ACCESSES,
+    capacity_scale: int = 64,
+    cache_megabytes: int = 1024,
+    replacement: str = "fifo",
+) -> MixResult:
+    """Run the Figure 9 sweep (8 mixes x designs, 4 cores)."""
+    config = default_system(
+        cache_megabytes=cache_megabytes,
+        num_cores=4,
+        replacement=replacement,
+        capacity_scale=capacity_scale,
+    )
+    simulator = Simulator(config)
+    results: Dict[Tuple[str, str], SimulationResult] = {}
+    for mix in mixes:
+        bindings = _mix_bindings(mix, accesses, capacity_scale)
+        for design in designs:
+            results[(mix, design)] = simulator.run(design, bindings)
+    return MixResult(
+        mixes=tuple(mixes), designs=tuple(designs), results=results
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10: DRAM cache size sensitivity (normalised to BI)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CacheSizeResult:
+    """IPC vs cache size for SRAM-tag and tagless, normalised to BI."""
+
+    sizes_mb: Tuple[int, ...]
+    mixes: Tuple[str, ...]
+    #: (size_mb, mix, design) -> SimulationResult; design includes "bi".
+    results: Dict[Tuple[int, str, str], SimulationResult]
+
+    def normalized_ipc(self, size_mb: int, mix: str) -> Dict[str, float]:
+        values = {
+            d: self.results[(size_mb, mix, d)].ipc_sum
+            for d in ("bi", "sram", "tagless")
+        }
+        return normalize_to(values, "bi")
+
+    def geomean_ipc(self, size_mb: int, design: str) -> float:
+        return geometric_mean(
+            self.normalized_ipc(size_mb, m)[design] for m in self.mixes
+        )
+
+    def table(self) -> str:
+        rows = []
+        for size in self.sizes_mb:
+            rows.append(
+                [f"{size}MB",
+                 self.geomean_ipc(size, "sram"),
+                 self.geomean_ipc(size, "tagless")]
+            )
+        return format_table(
+            "Figure 10: IPC vs DRAM cache size, normalised to "
+            "bank-interleaving (geomean over mixes)",
+            ["cache size", "sram-tag", "tagless"],
+            rows,
+        )
+
+
+def run_cache_size_sweep(
+    sizes_mb: Sequence[int] = (256, 512, 1024),
+    mixes: Sequence[str] = MIX_ORDER,
+    accesses: int = DEFAULT_MIX_ACCESSES,
+    capacity_scale: int = 64,
+) -> CacheSizeResult:
+    """Run the Figure 10 sweep: cache size sensitivity on the mixes."""
+    results: Dict[Tuple[int, str, str], SimulationResult] = {}
+    for size in sizes_mb:
+        config = default_system(
+            cache_megabytes=size, num_cores=4, capacity_scale=capacity_scale
+        )
+        simulator = Simulator(config)
+        for mix in mixes:
+            bindings = _mix_bindings(mix, accesses, capacity_scale)
+            for design in ("bi", "sram", "tagless"):
+                results[(size, mix, design)] = simulator.run(design, bindings)
+    return CacheSizeResult(
+        sizes_mb=tuple(sizes_mb), mixes=tuple(mixes), results=results
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11: replacement-policy sensitivity (FIFO vs LRU)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ReplacementResult:
+    """Tagless IPC under FIFO vs LRU victim selection, per mix."""
+
+    mixes: Tuple[str, ...]
+    #: (mix, policy) -> SimulationResult
+    results: Dict[Tuple[str, str], SimulationResult]
+
+    def lru_over_fifo(self, mix: str) -> float:
+        fifo = self.results[(mix, "fifo")].ipc_sum
+        lru = self.results[(mix, "lru")].ipc_sum
+        return lru / fifo
+
+    def mean_gain_percent(self) -> float:
+        ratio = geometric_mean(self.lru_over_fifo(m) for m in self.mixes)
+        return (ratio - 1.0) * 100.0
+
+    def table(self) -> str:
+        rows = [
+            [m,
+             self.results[(m, "fifo")].ipc_sum,
+             self.results[(m, "lru")].ipc_sum,
+             (self.lru_over_fifo(m) - 1.0) * 100.0]
+            for m in self.mixes
+        ]
+        rows.append(["geomean", "", "", self.mean_gain_percent()])
+        return format_table(
+            "Figure 11: tagless-cache IPC under FIFO vs LRU replacement",
+            ["mix", "fifo IPC", "lru IPC", "LRU gain %"],
+            rows,
+            float_format="{:.3f}",
+        )
+
+
+def run_replacement_study(
+    mixes: Sequence[str] = MIX_ORDER,
+    accesses: int = DEFAULT_MIX_ACCESSES,
+    capacity_scale: int = 64,
+    cache_megabytes: int = 1024,
+) -> ReplacementResult:
+    """Run the Figure 11 ablation: FIFO vs LRU for the tagless cache."""
+    results: Dict[Tuple[str, str], SimulationResult] = {}
+    for policy in ("fifo", "lru"):
+        config = default_system(
+            cache_megabytes=cache_megabytes,
+            num_cores=4,
+            replacement=policy,
+            capacity_scale=capacity_scale,
+        )
+        simulator = Simulator(config)
+        for mix in mixes:
+            bindings = _mix_bindings(mix, accesses, capacity_scale)
+            results[(mix, policy)] = simulator.run("tagless", bindings)
+    return ReplacementResult(mixes=tuple(mixes), results=results)
+
+
+# ----------------------------------------------------------------------
+# Figure 12: multi-threaded PARSEC
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ParsecResult:
+    """Per-(program, design) outcomes for the PARSEC figure."""
+
+    programs: Tuple[str, ...]
+    designs: Tuple[str, ...]
+    results: Dict[Tuple[str, str], SimulationResult]
+
+    def normalized_ipc(self, program: str) -> Dict[str, float]:
+        values = {
+            d: self.results[(program, d)].ipc_sum for d in self.designs
+        }
+        return normalize_to(values, "no-l3")
+
+    def normalized_edp(self, program: str) -> Dict[str, float]:
+        values = {d: self.results[(program, d)].edp for d in self.designs}
+        return normalize_to(values, "no-l3")
+
+    def ipc_table(self) -> str:
+        rows = [
+            [p] + [self.normalized_ipc(p)[d] for d in self.designs]
+            for p in self.programs
+        ]
+        return format_table(
+            "Figure 12a: IPC normalised to No-L3 (multi-threaded PARSEC)",
+            ["program"] + list(self.designs),
+            rows,
+        )
+
+    def edp_table(self) -> str:
+        rows = [
+            [p] + [self.normalized_edp(p)[d] for d in self.designs]
+            for p in self.programs
+        ]
+        return format_table(
+            "Figure 12b: EDP normalised to No-L3 (lower is better)",
+            ["program"] + list(self.designs),
+            rows,
+        )
+
+
+def run_parsec(
+    programs: Sequence[str] = PARSEC_ORDER,
+    designs: Sequence[str] = DESIGN_NAMES,
+    accesses: int = DEFAULT_MIX_ACCESSES,
+    capacity_scale: int = 64,
+    cache_megabytes: int = 1024,
+) -> ParsecResult:
+    """Run the Figure 12 sweep: 4 PARSEC programs, 4 threads, shared pages."""
+    config = default_system(
+        cache_megabytes=cache_megabytes,
+        num_cores=4,
+        capacity_scale=capacity_scale,
+    )
+    simulator = Simulator(config)
+    results: Dict[Tuple[str, str], SimulationResult] = {}
+    for program in programs:
+        bindings = _parsec_bindings(program, accesses, capacity_scale)
+        for design in designs:
+            results[(program, design)] = simulator.run(design, bindings)
+    return ParsecResult(
+        programs=tuple(programs), designs=tuple(designs), results=results
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 13: non-cacheable pages on 459.GemsFDTD
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class NonCacheableResult:
+    """Tagless IPC without vs with NC classification of low-reuse pages."""
+
+    baseline: SimulationResult
+    with_nc: SimulationResult
+    nc_pages: int
+    threshold: int
+
+    def gain_percent(self) -> float:
+        return percent_delta(self.with_nc.ipc_sum, self.baseline.ipc_sum)
+
+    def table(self) -> str:
+        rows = [
+            ["tagless", self.baseline.ipc_sum, ""],
+            ["tagless + NC", self.with_nc.ipc_sum,
+             f"+{self.gain_percent():.1f}%"],
+        ]
+        return format_table(
+            f"Figure 13: effect of non-cacheable pages on GemsFDTD "
+            f"({self.nc_pages} pages below {self.threshold} accesses "
+            "flagged NC)",
+            ["configuration", "IPC", "gain"],
+            rows,
+        )
+
+
+def run_noncacheable_study(
+    program: str = "GemsFDTD",
+    threshold: int = 32,
+    accesses: int = DEFAULT_ACCESSES,
+    capacity_scale: int = 64,
+    cache_megabytes: int = 1024,
+) -> NonCacheableResult:
+    """Run the Section 5.4 case study.
+
+    Pages with fewer than ``threshold`` accesses in the trace (the
+    paper's offline-profiling criterion: fewer than half of a page's 64
+    blocks touched) are flagged NC, so they bypass the DRAM cache and
+    stop polluting it.
+    """
+    config = default_system(
+        cache_megabytes=cache_megabytes,
+        num_cores=1,
+        capacity_scale=capacity_scale,
+    )
+    generator = TraceGenerator(
+        spec_profile(program), capacity_scale=capacity_scale
+    )
+    trace = generator.generate(accesses)
+    bindings = [BoundTrace(core_id=0, process_id=0, trace=trace)]
+    simulator = Simulator(config)
+
+    baseline = simulator.run("tagless", bindings)
+    counts = trace.page_access_counts()
+    nc_pages = [page for page, count in counts.items() if count < threshold]
+    with_nc = simulator.run(
+        "tagless", bindings, non_cacheable={0: nc_pages}
+    )
+    return NonCacheableResult(
+        baseline=baseline,
+        with_nc=with_nc,
+        nc_pages=len(nc_pages),
+        threshold=threshold,
+    )

@@ -1,0 +1,58 @@
+"""Markdown rendering for experiment results.
+
+The plain-text tables of :mod:`repro.analysis.report` are what the
+benchmarks print; this module renders the same data as GitHub-flavoured
+markdown so EXPERIMENTS.md can be refreshed mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def markdown_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    lines = [header, rule]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def normalized_series_markdown(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+) -> str:
+    """Render {row label -> {column -> value}} under a heading.
+
+    Used for normalised IPC/EDP blocks: rows are workloads, columns are
+    designs.
+    """
+    rows: List[List[object]] = []
+    for label, values in series.items():
+        rows.append([label] + [values[c] for c in columns])
+    return f"### {title}\n\n" + markdown_table(
+        ["workload"] + list(columns), rows
+    )
+
+
+def experiment_section(
+    heading: str,
+    description: str,
+    tables: Sequence[str],
+) -> str:
+    """Assemble one experiment's markdown section."""
+    body = "\n\n".join(tables)
+    return f"## {heading}\n\n{description}\n\n{body}\n"

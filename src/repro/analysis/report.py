@@ -1,0 +1,73 @@
+"""Report formatting: paper-style tables and normalised series.
+
+Every benchmark prints its figure/table through these helpers so that the
+output is uniform and easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.common.stats import geometric_mean
+
+
+def normalize_to(
+    values: Mapping[str, float], baseline_key: str
+) -> Dict[str, float]:
+    """Divide every value by the baseline entry's value.
+
+    >>> normalize_to({"a": 2.0, "b": 3.0}, "a")
+    {'a': 1.0, 'b': 1.5}
+    """
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero; cannot normalise")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table with a title rule."""
+    header = [str(c) for c in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        body.append(rendered)
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def geomean_row(
+    label: str, series: Sequence[Mapping[str, float]], keys: Sequence[str]
+) -> List[object]:
+    """Geometric-mean summary row over a list of per-workload dicts."""
+    row: List[object] = [label]
+    for key in keys:
+        row.append(geometric_mean([entry[key] for entry in series]))
+    return row
+
+
+def percent_delta(new: float, old: float) -> float:
+    """Relative change in percent: +10.0 means ``new`` is 10 % above."""
+    if old == 0:
+        raise ValueError("cannot compute a delta against zero")
+    return 100.0 * (new - old) / old

@@ -1,0 +1,15 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``workloads``  -- list the SPEC/PARSEC workload models and the mixes;
+- ``trace``      -- generate a synthetic trace, print its statistics,
+  optionally save it as ``.npz``;
+- ``run``        -- simulate one workload (or mix) on one design and
+  print the headline metrics (optionally as JSON);
+- ``experiment`` -- regenerate one of the paper's figures end to end.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,222 @@
+"""Argument parsing and dispatch for the ``repro`` command-line tools."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.analysis import experiments
+from repro.common.config import default_system
+from repro.cpu.multicore import BoundTrace
+from repro.cpu.simulator import Simulator
+from repro.designs.registry import DESIGN_NAMES
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.mixes import MIX_ORDER, MIXES, mix_traces
+from repro.workloads.parsec import PARSEC_ORDER, PARSEC_PROFILES
+from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES
+from repro.workloads.trace import save_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tagless DRAM cache reproduction toolkit (ISCA 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list workload models and mixes")
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace")
+    trace.add_argument("workload", help="SPEC or PARSEC program name")
+    trace.add_argument("--accesses", type=int, default=100_000)
+    trace.add_argument("--scale", type=int, default=64,
+                       help="capacity scale factor (default 64)")
+    trace.add_argument("--out", help="save as .npz to this path")
+
+    run = sub.add_parser("run", help="simulate a workload on a design")
+    run.add_argument("design", choices=list(DESIGN_NAMES) + ["alloy"])
+    run.add_argument("workload",
+                     help="SPEC/PARSEC program or MIX1..MIX8")
+    run.add_argument("--accesses", type=int, default=100_000)
+    run.add_argument("--cache-mb", type=int, default=1024)
+    run.add_argument("--scale", type=int, default=64)
+    run.add_argument("--replacement", default="fifo",
+                     choices=("fifo", "lru", "clock"))
+    run.add_argument("--json", action="store_true",
+                     help="emit metrics as JSON")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=("fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"),
+    )
+    experiment.add_argument("--accesses", type=int, default=None,
+                            help="per-core trace length override")
+
+    validate = sub.add_parser(
+        "validate",
+        help="grade the paper's headline claims against this build",
+    )
+    validate.add_argument("--accesses", type=int, default=40_000,
+                          help="single-programmed trace length")
+    return parser
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    print("SPEC CPU 2006 models (single/multi-programmed):")
+    for name in SPEC_ORDER:
+        profile = SPEC_PROFILES[name]
+        print(f"  {name:12s} footprint {profile.footprint_mb:6.0f} MB  "
+              f"apki {profile.apki:4.1f}  "
+              f"stream {profile.stream_fraction:.2f}  "
+              f"cold {profile.cold_fraction:.3f}")
+    print("\nPARSEC models (multi-threaded):")
+    for name in PARSEC_ORDER:
+        profile = PARSEC_PROFILES[name]
+        print(f"  {name:12s} footprint {profile.footprint_mb:6.0f} MB  "
+              f"apki {profile.apki:4.1f}")
+    print("\nMixes (Table 5):")
+    for name in MIX_ORDER:
+        print(f"  {name}: {'-'.join(MIXES[name])}")
+    return 0
+
+
+def _profile_for(workload: str):
+    if workload in SPEC_PROFILES:
+        return SPEC_PROFILES[workload]
+    if workload in PARSEC_PROFILES:
+        return PARSEC_PROFILES[workload]
+    raise SystemExit(
+        f"unknown workload {workload!r}; see `repro workloads`"
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    profile = _profile_for(args.workload)
+    generator = TraceGenerator(profile, capacity_scale=args.scale)
+    trace = generator.generate(args.accesses)
+    print(f"{trace.name}: {len(trace)} accesses, "
+          f"{trace.footprint_pages} pages, "
+          f"apki {trace.accesses_per_kilo_instruction:.1f}, "
+          f"writes {trace.write_fraction():.2f}, "
+          f"{trace.total_instructions} instructions")
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = default_system(
+        cache_megabytes=args.cache_mb,
+        num_cores=4 if args.workload in MIXES else 1,
+        replacement=args.replacement,
+        capacity_scale=args.scale,
+    )
+    if args.workload in MIXES:
+        traces = mix_traces(args.workload, accesses_per_program=args.accesses,
+                            capacity_scale=args.scale)
+        bindings = [BoundTrace(i, i, t) for i, t in enumerate(traces)]
+    else:
+        profile = _profile_for(args.workload)
+        trace = TraceGenerator(
+            profile, capacity_scale=args.scale
+        ).generate(args.accesses)
+        bindings = [BoundTrace(0, 0, trace)]
+
+    result = Simulator(config).run(args.design, bindings)
+    metrics = {
+        "design": args.design,
+        "workload": args.workload,
+        "cache_mb": args.cache_mb,
+        "ipc": result.ipc_sum,
+        "per_core_ipc": [core.ipc for core in result.cores],
+        "elapsed_ms": result.elapsed_ns / 1e6,
+        "mean_l3_latency_cycles": result.mean_l3_latency_cycles,
+        "energy_j": result.total_energy_j,
+        "edp_js": result.edp,
+    }
+    if args.json:
+        print(json.dumps(metrics, indent=2))
+    else:
+        for key, value in metrics.items():
+            print(f"{key:24s}: {value}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    accesses = args.accesses
+    if args.figure == "fig7":
+        result = experiments.run_single_programmed(
+            accesses=accesses or experiments.DEFAULT_ACCESSES
+        )
+        print(result.ipc_table())
+        print()
+        print(result.edp_table())
+    elif args.figure == "fig8":
+        result = experiments.run_single_programmed(
+            accesses=accesses or experiments.DEFAULT_ACCESSES,
+            designs=("no-l3", "sram", "tagless"),
+        )
+        print(result.l3_latency_table())
+    elif args.figure == "fig9":
+        result = experiments.run_multi_programmed(
+            accesses=accesses or experiments.DEFAULT_MIX_ACCESSES
+        )
+        print(result.ipc_table())
+        print()
+        print(result.edp_table())
+    elif args.figure == "fig10":
+        result = experiments.run_cache_size_sweep(
+            accesses=accesses or experiments.DEFAULT_MIX_ACCESSES
+        )
+        print(result.table())
+    elif args.figure == "fig11":
+        result = experiments.run_replacement_study(
+            accesses=accesses or 140_000
+        )
+        print(result.table())
+    elif args.figure == "fig12":
+        result = experiments.run_parsec(
+            accesses=accesses or experiments.DEFAULT_MIX_ACCESSES
+        )
+        print(result.ipc_table())
+        print()
+        print(result.edp_table())
+    elif args.figure == "fig13":
+        result = experiments.run_noncacheable_study(
+            accesses=accesses or experiments.DEFAULT_ACCESSES
+        )
+        print(result.table())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validate import run_validation
+
+    report = run_validation(
+        single_accesses=args.accesses,
+        mix_accesses=max(10_000, args.accesses * 3 // 4),
+    )
+    print(report.table())
+    print()
+    print("overall:", "PASS" if report.passed else "FAIL")
+    return 0 if report.passed else 1
+
+
+_COMMANDS = {
+    "workloads": cmd_workloads,
+    "trace": cmd_trace,
+    "run": cmd_run,
+    "experiment": cmd_experiment,
+    "validate": cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

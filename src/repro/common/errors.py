@@ -1,0 +1,31 @@
+"""Exception hierarchy for the reproduction library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch one type at the library boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied.
+
+    Raised during construction/validation of the dataclasses in
+    :mod:`repro.common.config` (for example a cache whose capacity is not a
+    multiple of its page size) so that misconfiguration fails fast instead
+    of producing silently wrong simulation results.
+    """
+
+
+class SimulationError(ReproError):
+    """An invariant of the simulated machine was violated at run time.
+
+    These indicate bugs in the simulator (e.g. a cTLB entry pointing at a
+    cache block the GIPT does not know about), never user error.
+    """
+
+
+class TraceError(ReproError):
+    """A memory-access trace is malformed or internally inconsistent."""

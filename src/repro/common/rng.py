@@ -1,0 +1,34 @@
+"""Deterministic random-number streams.
+
+Every stochastic decision in the library (trace generation, workload
+mixing) draws from a :func:`numpy.random.Generator` produced here, keyed by
+a textual purpose string, so that results are bit-reproducible across runs
+and machines while independent components never share a stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Library-wide base seed.  Changing it re-rolls every synthetic trace.
+BASE_SEED = 0x7A61_CE55  # "tagless"
+
+
+def seed_for(*names: object) -> int:
+    """Derive a stable 63-bit seed from a tuple of identifying values.
+
+    >>> seed_for("spec", "mcf", 0) == seed_for("spec", "mcf", 0)
+    True
+    >>> seed_for("spec", "mcf", 0) != seed_for("spec", "mcf", 1)
+    True
+    """
+    text = "\x00".join(str(n) for n in names)
+    digest = hashlib.sha256(f"{BASE_SEED}:{text}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+def generator_for(*names: object) -> np.random.Generator:
+    """Return a numpy Generator seeded deterministically from ``names``."""
+    return np.random.default_rng(seed_for(*names))

@@ -1,0 +1,104 @@
+"""Lightweight statistics counters shared by every simulated component.
+
+Each component owns a :class:`StatGroup`; the experiment harness merges the
+groups into flat dictionaries for reporting.  Counters are plain floats --
+fast enough for the inner simulation loop -- with helpers for ratios,
+means and histogram-style accumulation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class StatGroup:
+    """A named bag of additive counters.
+
+    >>> stats = StatGroup("l1")
+    >>> stats.add("hits")
+    >>> stats.add("hits", 2)
+    >>> stats["hits"]
+    3.0
+    >>> stats.ratio("hits", "hits")
+    1.0
+    """
+
+    __slots__ = ("name", "_counters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        """Overwrite counter ``key`` (used for gauges like final sizes)."""
+        self._counters[key] = value
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def keys(self) -> Iterable[str]:
+        return self._counters.keys()
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return counters[num] / counters[den], or 0.0 if the denominator
+        is zero (a convention that keeps report code branch-free)."""
+        den = self._counters.get(denominator, 0.0)
+        if den == 0.0:
+            return 0.0
+        return self._counters.get(numerator, 0.0) / den
+
+    def mean(self, total: str, count: str) -> float:
+        """Alias of :meth:`ratio` that reads better for averages."""
+        return self.ratio(total, count)
+
+    def as_dict(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten to a plain dict, optionally prefixing every key."""
+        if prefix:
+            return {f"{prefix}{k}": v for k, v in self._counters.items()}
+        return dict(self._counters)
+
+    def merge(self, other: "StatGroup") -> None:
+        """Add every counter of ``other`` into this group."""
+        for key, value in other._counters.items():
+            self._counters[key] += value
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"StatGroup({self.name!r}: {body})"
+
+
+def merge_stat_dicts(dicts: Iterable[Mapping[str, float]]) -> Dict[str, float]:
+    """Sum a sequence of flat stat dictionaries key-wise."""
+    merged: Dict[str, float] = defaultdict(float)
+    for d in dicts:
+        for key, value in d.items():
+            merged[key] += value
+    return dict(merged)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregate for speedups and latencies.
+
+    Returns 0.0 for an empty sequence and raises ``ValueError`` when any
+    value is non-positive (a speedup of zero is a reporting bug upstream).
+    """
+    vals = list(values)
+    if not vals:
+        return 0.0
+    product = 1.0
+    for value in vals:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(vals))

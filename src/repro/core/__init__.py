@@ -1,0 +1,43 @@
+"""The paper's contribution: the tagless, fully associative DRAM cache.
+
+Components map one-to-one onto Figure 3 of the paper:
+
+- :class:`repro.core.ctlb.CacheMapTLB` -- the cTLB, a conventional TLB
+  whose entries hold virtual-to-**cache** mappings (plus the NC bit);
+- :class:`repro.core.gipt.GlobalInvertedPageTable` -- cache-to-physical
+  mappings, PTE pointers and per-core TLB-residence bits;
+- :class:`repro.core.free_queue.FreeQueue` -- the FIFO of blocks awaiting
+  asynchronous eviction, plus the header-pointer free pool;
+- :mod:`repro.core.policies` -- FIFO (with TLB-residence skipping) and LRU
+  victim selection (Figure 11);
+- :class:`repro.core.miss_handler.CTLBMissHandler` -- the extended TLB
+  miss handler of Figure 4;
+- :class:`repro.core.tagless_cache.TaglessCacheEngine` -- ties the above
+  together and owns all timing/energy charging for the tagless design.
+"""
+
+from repro.core.ctlb import CacheMapTLB
+from repro.core.free_queue import FreeQueue
+from repro.core.gipt import GIPTEntry, GlobalInvertedPageTable
+from repro.core.miss_handler import CTLBMissHandler, MissOutcome
+from repro.core.policies import (
+    FIFOVictimTracker,
+    LRUVictimTracker,
+    VictimTracker,
+    make_victim_tracker,
+)
+from repro.core.tagless_cache import TaglessCacheEngine
+
+__all__ = [
+    "CacheMapTLB",
+    "FreeQueue",
+    "GIPTEntry",
+    "GlobalInvertedPageTable",
+    "CTLBMissHandler",
+    "MissOutcome",
+    "FIFOVictimTracker",
+    "LRUVictimTracker",
+    "VictimTracker",
+    "make_victim_tracker",
+    "TaglessCacheEngine",
+]

@@ -1,0 +1,94 @@
+"""The cache-map TLB (cTLB) -- Section 3.1/3.2 of the paper.
+
+Hardware-wise the cTLB *is* the conventional TLB of Table 3 (same entry
+count, same organisation); the only additions are (a) the stored
+translation target is a cache page number whenever the page is cached,
+and (b) each entry carries the Non-Cacheable bit copied from the PTE so
+that NC pages keep conventional virtual-to-physical behaviour.
+
+This module is a thin semantic wrapper over
+:class:`repro.vm.tlb.TLBHierarchy` that makes those two conventions
+explicit and typo-proof for the miss handler and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.vm.page_table import PageTableEntry
+from repro.vm.tlb import TLBEntry, TLBHierarchy
+
+
+class CacheMapTLB:
+    """Per-core cTLB: a TLB hierarchy holding virtual-to-cache mappings."""
+
+    def __init__(self, hierarchy: TLBHierarchy):
+        self.hierarchy = hierarchy
+
+    # ------------------------------------------------------------------
+    # Lookup path (on every memory access)
+    # ------------------------------------------------------------------
+    def lookup(self, virtual_page: int):
+        """Probe L1/L2; returns ("l1"|"l2"|"miss", entry-or-None).
+
+        On a hit the entry's ``target_page`` is directly the in-package
+        cache page (NC bit clear) or the off-package physical page (NC
+        bit set) -- no tag check follows in either case.
+        """
+        return self.hierarchy.lookup(virtual_page)
+
+    # ------------------------------------------------------------------
+    # Refill paths (from the cTLB miss handler)
+    # ------------------------------------------------------------------
+    def install_cache_mapping(self, virtual_page: int, cache_page: int) -> TLBEntry:
+        """Install a virtual-to-cache translation (the common case)."""
+        entry = TLBEntry(target_page=cache_page, non_cacheable=False)
+        self.hierarchy.install(virtual_page, entry)
+        return entry
+
+    def install_noncacheable(self, pte: PageTableEntry) -> TLBEntry:
+        """Install a conventional virtual-to-physical translation.
+
+        Used for NC pages, which bypass the DRAM cache entirely
+        (Section 3.5): the entry behaves exactly like a classic TLB entry.
+        """
+        entry = TLBEntry(target_page=pte.physical_page, non_cacheable=True)
+        self.hierarchy.install(pte.virtual_page, entry)
+        return entry
+
+    def install_noncacheable_target(
+        self, virtual_page: int, physical_page: int
+    ) -> TLBEntry:
+        """NC install with an explicit target frame.
+
+        Needed for pages inside an unsplit NC superpage, whose frames
+        are the base PTE's frame plus the page's offset into the run.
+        """
+        entry = TLBEntry(target_page=physical_page, non_cacheable=True)
+        self.hierarchy.install(virtual_page, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Coherence helpers
+    # ------------------------------------------------------------------
+    def shootdown(self, virtual_page: int) -> bool:
+        """Invalidate one mapping (Section 6: eviction consistency)."""
+        return self.hierarchy.invalidate(virtual_page)
+
+    def resident(self, virtual_page: int) -> bool:
+        return self.hierarchy.resident(virtual_page)
+
+    def peek_target(self, virtual_page: int) -> Optional[int]:
+        """Return the mapped target page without LRU side effects."""
+        entry = self.hierarchy.l2.peek(virtual_page)
+        return None if entry is None else entry.target_page
+
+    @property
+    def accesses(self) -> int:
+        return self.hierarchy.accesses
+
+    def miss_rate(self) -> float:
+        return self.hierarchy.miss_rate()
+
+    def stats(self, prefix: str = "") -> dict:
+        return self.hierarchy.stats(prefix)

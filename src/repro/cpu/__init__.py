@@ -1,0 +1,28 @@
+"""CPU timing model and the trace-driven simulator.
+
+The core model is an interval-style approximation of the paper's
+out-of-order cores: non-memory work retires at a workload-specific base
+CPI, and memory latency beyond the L1 is divided by a memory-level-
+parallelism factor before it stalls the core.  The multicore engine
+interleaves per-core traces in timestamp order so that shared structures
+(the DRAM cache, the channels, the GIPT) observe a realistic global
+ordering.
+"""
+
+from repro.cpu.core_model import (
+    CoreTimingModel,
+    WindowCoreTimingModel,
+    make_core_model,
+)
+from repro.cpu.multicore import BoundTrace, run_interleaved
+from repro.cpu.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "CoreTimingModel",
+    "WindowCoreTimingModel",
+    "make_core_model",
+    "BoundTrace",
+    "run_interleaved",
+    "SimulationResult",
+    "Simulator",
+]

@@ -1,0 +1,142 @@
+"""High-level simulation façade: one call per (design, workload) point.
+
+``Simulator(config).run("tagless", bindings)`` builds a fresh design,
+replays the bound traces through it, and returns a
+:class:`SimulationResult` carrying IPC, the Figure 8 latency metric, the
+full energy breakdown and every component's statistics.  Experiment
+runners and benchmarks are thin loops over this call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.energy import EnergyBreakdown, compute_energy
+from repro.common.config import SystemConfig
+from repro.cpu.multicore import BoundTrace, CoreResult, run_interleaved
+from repro.designs.base import MemorySystemDesign
+from repro.designs.registry import create_design
+from repro.designs.tagless_design import TaglessDesign
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Everything one simulation point produces."""
+
+    design_name: str
+    cores: List[CoreResult]
+    elapsed_ns: float
+    mean_l3_latency_cycles: float
+    energy: EnergyBreakdown
+    stats: Dict[str, float]
+
+    @property
+    def ipc_sum(self) -> float:
+        """System throughput: the sum of per-core IPCs (the aggregate the
+        multi-programmed figures normalise)."""
+        return sum(core.ipc for core in self.cores)
+
+    @property
+    def instructions(self) -> int:
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.energy.total_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds (lower is better)."""
+        return self.energy.total_j * self.elapsed_ns * 1e-9
+
+    def ipc_of(self, core_id: int) -> float:
+        for core in self.cores:
+            if core.core_id == core_id:
+                return core.ipc
+        raise KeyError(f"no core {core_id} in result")
+
+
+class Simulator:
+    """Runs design/workload combinations under one machine configuration."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+
+    def build_design(self, design_name: str) -> MemorySystemDesign:
+        return create_design(design_name, self.config)
+
+    def run(
+        self,
+        design_name: str,
+        bindings: Sequence[BoundTrace],
+        non_cacheable: Optional[Dict[int, Sequence[int]]] = None,
+        max_accesses: Optional[int] = None,
+        warmup_fraction: float = 0.25,
+        caching_policy=None,
+        superpages: Optional[Dict[int, Sequence]] = None,
+    ) -> SimulationResult:
+        """Simulate ``bindings`` on a fresh instance of ``design_name``.
+
+        The first ``warmup_fraction`` of every trace warms caches, TLBs
+        and the DRAM cache without being measured -- the trace-driven
+        analogue of the paper's Simpoint methodology, where statistics
+        come from a representative slice executed against warmed state.
+        Cold-start fill storms would otherwise dominate every cache
+        design's numbers.
+
+        ``non_cacheable`` maps process id -> virtual pages to flag NC
+        before the run (the Section 5.4 case study); it only affects the
+        tagless design, which is the only one with an NC mechanism.
+        """
+        if not (0.0 <= warmup_fraction < 1.0):
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        design = self.build_design(design_name)
+        if non_cacheable and isinstance(design, TaglessDesign):
+            for process_id, pages in non_cacheable.items():
+                for virtual_page in pages:
+                    design.set_non_cacheable(process_id, virtual_page)
+        if caching_policy is not None and isinstance(design, TaglessDesign):
+            design.set_caching_policy(caching_policy)
+        if superpages:
+            # process id -> [(base_vpn, order), ...]: map the regions
+            # before any access touches them (all designs support this).
+            for process_id, regions in superpages.items():
+                table = design.page_table(process_id)
+                for base_vpn, order in regions:
+                    table.map_superpage(base_vpn, order)
+
+        bindings = list(bindings)
+        if max_accesses is not None:
+            bindings = [
+                BoundTrace(b.core_id, b.process_id,
+                           b.trace.head(max_accesses))
+                for b in bindings
+            ]
+        if warmup_fraction > 0.0:
+            warm, measured = [], []
+            for binding in bindings:
+                split = int(len(binding.trace) * warmup_fraction)
+                warm.append(
+                    BoundTrace(binding.core_id, binding.process_id,
+                               binding.trace.slice(0, split))
+                )
+                measured.append(
+                    BoundTrace(binding.core_id, binding.process_id,
+                               binding.trace.slice(split, len(binding.trace)))
+                )
+            run_interleaved(design, warm)
+            design.reset_stats()
+            bindings = measured
+        cores = run_interleaved(design, bindings)
+        elapsed_ns = max((c.cycles for c in cores), default=0.0)
+        elapsed_ns /= self.config.core.frequency_ghz
+        energy = compute_energy(design, cores, elapsed_ns)
+        return SimulationResult(
+            design_name=design_name,
+            cores=cores,
+            elapsed_ns=elapsed_ns,
+            mean_l3_latency_cycles=design.mean_l3_latency_cycles(),
+            energy=energy,
+            stats=design.stats(),
+        )

@@ -1,0 +1,34 @@
+"""The five memory-system organisations evaluated in Section 5.
+
+Every design implements :class:`repro.designs.base.MemorySystemDesign`:
+given a virtual-address access it returns the core-visible latency while
+internally driving TLBs, on-die caches, DRAM devices and (where present)
+the L3 structure.  The simulator and every benchmark interact with
+designs only through this interface and the registry.
+
+- ``no-l3``  -- conventional off-package memory, no DRAM cache (baseline);
+- ``bi``     -- bank-interleaved heterogeneous memory, OS-oblivious;
+- ``sram``   -- page-based DRAM cache with an on-die SRAM tag array;
+- ``tagless``-- the paper's cTLB-based tagless cache;
+- ``ideal``  -- all data magically in in-package DRAM (upper bound).
+"""
+
+from repro.designs.base import AccessCost, MemorySystemDesign
+from repro.designs.bank_interleave import BankInterleavingDesign
+from repro.designs.ideal import IdealDesign
+from repro.designs.no_l3 import NoL3Design
+from repro.designs.registry import DESIGN_NAMES, create_design
+from repro.designs.sram_tag import SRAMTagDesign
+from repro.designs.tagless_design import TaglessDesign
+
+__all__ = [
+    "AccessCost",
+    "MemorySystemDesign",
+    "BankInterleavingDesign",
+    "IdealDesign",
+    "NoL3Design",
+    "DESIGN_NAMES",
+    "create_design",
+    "SRAMTagDesign",
+    "TaglessDesign",
+]

@@ -1,0 +1,279 @@
+"""Shared machinery for the evaluated memory-system designs.
+
+A design owns everything below the core: per-core TLB hierarchies, per-core
+on-die L1/L2 caches, per-process page tables, the two DRAM devices, and
+whatever L3 structure it defines.  The single entry point is
+:meth:`MemorySystemDesign.access`, which the simulator calls once per
+memory reference with the core's current local time.
+
+The base class implements the entire conventional access path -- TLB
+probe, walk on miss, on-die hierarchy, write-back routing -- and exposes
+two hooks for subclasses: :meth:`_refill_tlb` (what a TLB miss does) and
+:meth:`_service_l2_miss` (where an on-die miss goes).  The tagless design
+overrides both; the other designs override only the second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.common.addressing import LINES_PER_PAGE
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.dram.device import DRAMDevice
+from repro.sram.hierarchy import OnDieHierarchy
+from repro.vm.page_table import PageTable, PhysicalFrameAllocator
+from repro.vm.tlb import TLBEntry, TLBHierarchy
+from repro.vm.walker import PageTableWalker
+
+#: Key-space offset separating physical-address lines from cache-address
+#: lines inside the on-die caches of the tagless design (whose L1/L2 are
+#: tagged by cache address for cached pages but by physical address for
+#: non-cacheable pages).
+PA_NAMESPACE_OFFSET = 1 << 40
+
+
+@dataclasses.dataclass
+class AccessCost:
+    """Core-visible outcome of one memory access.
+
+    ``cycles`` is the full latency; ``l3_cycles`` is the portion counted
+    by Figure 8 (everything after an on-die L2 miss, *including* the TLB
+    penalty, per Section 5.1); ``l3_involved`` marks whether the access
+    reached beyond the on-die caches at all.
+    """
+
+    cycles: float
+    l3_cycles: float = 0.0
+    l3_involved: bool = False
+    tlb_level: str = "l1"
+    ondie_level: str = "l1"
+
+
+class MemorySystemDesign:
+    """Base class: conventional translation + on-die caches + routing."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.core_cfg = config.core
+        scaled_tlb = config.scaled_tlb
+
+        self.in_package = DRAMDevice(config.in_package, config.in_package_energy)
+        self.off_package = DRAMDevice(config.off_package, config.off_package_energy)
+
+        self.allocator = PhysicalFrameAllocator(self._physical_pages())
+        self._page_tables: Dict[int, PageTable] = {}
+
+        self.walker = PageTableWalker(scaled_tlb, pte_backing=self.off_package)
+        self.tlbs: List[TLBHierarchy] = [
+            self._make_tlb_hierarchy(core_id, scaled_tlb)
+            for core_id in range(config.num_cores)
+        ]
+        self.ondie: List[OnDieHierarchy] = [
+            OnDieHierarchy(config.scaled_l1, config.scaled_l2)
+            for _ in range(config.num_cores)
+        ]
+
+        # Figure 8 accounting.
+        self.l3_accesses = 0
+        self.l3_latency_cycles = 0.0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # Construction hooks
+    # ------------------------------------------------------------------
+    def _physical_pages(self) -> int:
+        """Size of the physical page space the frame allocator covers."""
+        return self.config.off_package_pages
+
+    def _make_tlb_hierarchy(self, core_id: int, tlb_cfg) -> TLBHierarchy:
+        return TLBHierarchy(tlb_cfg.l1_entries, tlb_cfg.l2_entries)
+
+    # ------------------------------------------------------------------
+    # Page tables
+    # ------------------------------------------------------------------
+    def page_table(self, process_id: int) -> PageTable:
+        table = self._page_tables.get(process_id)
+        if table is None:
+            table = PageTable(self.allocator, process_id)
+            self._page_tables[process_id] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        core_id: int,
+        process_id: int,
+        virtual_page: int,
+        line_index: int,
+        is_write: bool,
+        now_ns: float,
+    ) -> AccessCost:
+        """Perform one memory reference and return its cost."""
+        if not (0 <= line_index < LINES_PER_PAGE):
+            raise SimulationError(f"line index {line_index} out of page")
+        self.accesses += 1
+        table = self.page_table(process_id)
+        tlb = self.tlbs[core_id]
+
+        tlb_level, entry = tlb.lookup(virtual_page)
+        tlb_cycles = 0.0
+        if tlb_level == "l2":
+            tlb_cycles = float(self.config.scaled_tlb.l2_hit_cycles)
+        elif tlb_level == "miss":
+            tlb_cycles, entry = self._refill_tlb(
+                core_id, table, virtual_page, now_ns, line_index
+            )
+
+        line_key = self._line_key(entry, line_index)
+        result = self.ondie[core_id].access(line_key, is_write)
+        self._route_writebacks(result.writebacks, now_ns)
+
+        cycles = tlb_cycles
+        l3_cycles = 0.0
+        l3_involved = False
+        if result.level == "l1":
+            cycles += self.core_cfg.l1_hit_cycles
+        elif result.level == "l2":
+            cycles += self.core_cfg.l2_hit_cycles
+        else:
+            l3_involved = True
+            # All memory-system requests are issued at the core's issue
+            # time.  Adding partial latencies here would make timestamps
+            # run ahead of the MLP-overlapped core clock and manufacture
+            # phantom queueing between an access and its own successor.
+            l3_only = self._service_l2_miss(
+                core_id, entry, virtual_page, line_index, is_write, now_ns
+            )
+            cycles += l3_only
+            l3_cycles = tlb_cycles + l3_only
+            self.l3_accesses += 1
+            self.l3_latency_cycles += l3_cycles
+
+        return AccessCost(
+            cycles=cycles,
+            l3_cycles=l3_cycles,
+            l3_involved=l3_involved,
+            tlb_level=tlb_level,
+            ondie_level=result.level,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by concrete designs
+    # ------------------------------------------------------------------
+    def _refill_tlb(
+        self,
+        core_id: int,
+        table: PageTable,
+        virtual_page: int,
+        now_ns: float,
+        line_index: int = 0,
+    ):
+        """Conventional TLB miss: walk and install a VA->PA mapping.
+
+        Returns (cycles, installed_entry).  ``line_index`` identifies
+        the block whose access triggered the miss; the conventional
+        handler ignores it, the cTLB handler feeds it to the footprint
+        predictor.
+        """
+        pte, cycles = self.walker.walk(table, virtual_page, now_ns)
+        target = pte.physical_page
+        if pte.is_superpage:
+            # Inside a superpage the walk returns the base PTE; the
+            # page's frame is base + offset into the contiguous run.
+            target += virtual_page - pte.virtual_page
+        entry = TLBEntry(target_page=target, non_cacheable=False)
+        self.tlbs[core_id].install(virtual_page, entry)
+        return cycles, entry
+
+    def _line_key(self, entry: TLBEntry, line_index: int) -> int:
+        """On-die cache key for this access (PA-space by default)."""
+        return entry.target_page * LINES_PER_PAGE + line_index
+
+    def _service_l2_miss(
+        self,
+        core_id: int,
+        entry: TLBEntry,
+        virtual_page: int,
+        line_index: int,
+        is_write: bool,
+        now_ns: float,
+    ) -> float:
+        """Service an on-die miss; returns latency in core cycles."""
+        raise NotImplementedError
+
+    def _route_writebacks(self, writebacks: List[int], now_ns: float) -> None:
+        """Send dirty on-die L2 victims toward memory (asynchronously)."""
+        for line in writebacks:
+            self._writeback_line(line, now_ns)
+
+    def _writeback_line(self, line: int, now_ns: float) -> None:
+        """Default: dirty lines go home to off-package physical memory."""
+        self._async_block_write(self.off_package, line // LINES_PER_PAGE, now_ns)
+
+    @staticmethod
+    def _async_block_write(device: DRAMDevice, page: int, now_ns: float) -> None:
+        """A 64 B write nobody waits on: bus time + energy, no latency."""
+        device.energy.charge(64, 0, is_write=True)
+        channel = device.channels.channel_of_page(page)
+        device.channels.occupy_background(
+            channel, now_ns, device.timing.transfer_ns(64)
+        )
+
+    # ------------------------------------------------------------------
+    # Warmup support
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero every counter while keeping all cached state warm.
+
+        Called at the warmup/measurement boundary.  Subclasses with
+        extra counters extend this.
+        """
+        self.accesses = 0
+        self.l3_accesses = 0
+        self.l3_latency_cycles = 0.0
+        self.walker.reset_stats()
+        for tlb in self.tlbs:
+            tlb.reset_stats()
+        for hierarchy in self.ondie:
+            hierarchy.reset_stats()
+        self.in_package.reset_stats()
+        self.off_package.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def mean_l3_latency_cycles(self) -> float:
+        """Figure 8's metric: average latency after an on-die L2 miss."""
+        if self.l3_accesses == 0:
+            return 0.0
+        return self.l3_latency_cycles / self.l3_accesses
+
+    def leakage_watts(self) -> float:
+        """Design-specific static power (e.g. the SRAM tag array)."""
+        return 0.0
+
+    def probe_energy_nj(self) -> float:
+        """Design-specific dynamic energy outside the DRAM devices."""
+        return 0.0
+
+    def stats(self) -> dict:
+        out = {
+            "accesses": float(self.accesses),
+            "l3_accesses": float(self.l3_accesses),
+            "l3_latency_cycles": self.l3_latency_cycles,
+        }
+        for core_id, tlb in enumerate(self.tlbs):
+            out.update(tlb.stats(f"core{core_id}_tlb_"))
+        for core_id, hierarchy in enumerate(self.ondie):
+            out.update(hierarchy.stats(f"core{core_id}_ondie_"))
+        out.update(self.in_package.stats("inpkg_"))
+        out.update(self.off_package.stats("offpkg_"))
+        out.update(self.walker.stats("walker_"))
+        return out

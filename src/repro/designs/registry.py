@@ -1,0 +1,43 @@
+"""Name-based design factory used by the simulator, benches and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.designs.alloy import AlloyCacheDesign
+from repro.designs.bank_interleave import BankInterleavingDesign
+from repro.designs.base import MemorySystemDesign
+from repro.designs.ideal import IdealDesign
+from repro.designs.no_l3 import NoL3Design
+from repro.designs.sram_tag import SRAMTagDesign
+from repro.designs.tagless_design import TaglessDesign
+
+_FACTORIES: Dict[str, Callable[[SystemConfig], MemorySystemDesign]] = {
+    NoL3Design.name: NoL3Design,
+    BankInterleavingDesign.name: BankInterleavingDesign,
+    SRAMTagDesign.name: SRAMTagDesign,
+    TaglessDesign.name: TaglessDesign,
+    IdealDesign.name: IdealDesign,
+    AlloyCacheDesign.name: AlloyCacheDesign,
+}
+
+#: The evaluation order used throughout the paper's figures.  The
+#: block-based "alloy" extension design is available through
+#: :func:`create_design` but is not part of the paper's figure sweeps.
+DESIGN_NAMES = ("no-l3", "bi", "sram", "tagless", "ideal")
+
+
+def create_design(name: str, config: SystemConfig) -> MemorySystemDesign:
+    """Instantiate the design called ``name`` for ``config``.
+
+    >>> design = create_design("tagless", default_system())  # doctest: +SKIP
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown design {name!r}; expected one of {sorted(_FACTORIES)}"
+        ) from None
+    return factory(config)

@@ -1,0 +1,17 @@
+"""DRAM device models (timing, banks, channel contention, energy).
+
+Two instances of :class:`repro.dram.device.DRAMDevice` exist in every
+simulated machine: the fast, wide **in-package** die-stacked DRAM and the
+slower, narrower **off-package** DDR3 device (Tables 3 and 4 of the paper).
+The device model tracks per-bank open rows (row-buffer locality is a large
+part of why page-granularity caching wins) and per-channel data-bus
+occupancy (bandwidth contention is what separates the designs once four
+cores share one channel).
+"""
+
+from repro.dram.bank import BankArray
+from repro.dram.channel import ChannelScheduler
+from repro.dram.device import DRAMDevice
+from repro.dram.energy import EnergyAccount
+
+__all__ = ["BankArray", "ChannelScheduler", "DRAMDevice", "EnergyAccount"]

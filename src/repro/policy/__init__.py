@@ -1,0 +1,32 @@
+"""Pluggable caching policies for the tagless DRAM cache.
+
+Section 3.5 of the paper stresses that, because the whole caching
+mechanism lives in the TLB miss handler, "a caching policy (e.g.,
+selective locking or bypassing of cache blocks) can be flexibly plugged
+in by modifying the TLB miss handler".  This package is that plug-in
+surface:
+
+- :class:`repro.policy.base.CachingPolicy` -- the interface the cTLB
+  miss handler consults before filling a page;
+- :class:`repro.policy.always.AlwaysCachePolicy` -- the paper's default
+  behaviour (every cacheable page is cached on first touch);
+- :class:`repro.policy.static_profile.StaticProfilePolicy` -- the
+  Section 5.4 case study: an offline profile flags low-reuse pages NC;
+- :class:`repro.policy.touch_filter.TouchCountFilterPolicy` -- an
+  online, CHOP-style filter (Jiang et al., HPCA 2010, cited as [22])
+  that only caches a page once it has proven itself by missing in the
+  TLB repeatedly within a decay window.
+"""
+
+from repro.policy.always import AlwaysCachePolicy
+from repro.policy.base import CachingPolicy, PolicyDecision
+from repro.policy.static_profile import StaticProfilePolicy
+from repro.policy.touch_filter import TouchCountFilterPolicy
+
+__all__ = [
+    "AlwaysCachePolicy",
+    "CachingPolicy",
+    "PolicyDecision",
+    "StaticProfilePolicy",
+    "TouchCountFilterPolicy",
+]

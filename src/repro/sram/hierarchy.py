@@ -1,0 +1,129 @@
+"""Two-level on-die cache hierarchy (the L1/L2 of Table 3).
+
+The hierarchy is indexed by *global line number*.  In the SRAM-tag design
+these are physical line numbers; in the tagless design they are **cache**
+line numbers (Section 3.1: "on-die SRAM caches are now addressed and
+tagged by cache addresses"), which is why the hierarchy also supports
+page-granularity invalidation -- when the tagless cache recycles a cache
+address, stale lines of the departing page must leave the on-die levels.
+
+Dirty L2 victims are surfaced to the caller as write-backs; timing and
+energy for those belong to the memory side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.common.addressing import LINES_PER_PAGE
+from repro.common.config import OnDieCacheConfig
+from repro.sram.set_assoc import SetAssociativeCache
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Outcome of one hierarchy access.
+
+    ``level`` is "l1", "l2" or "miss"; ``writebacks`` lists the global
+    line numbers of dirty L2 victims that must be written toward memory.
+    """
+
+    level: str
+    writebacks: List[int]
+
+
+class OnDieHierarchy:
+    """Write-back, write-allocate L1 + L2 with simple inclusion-free flow."""
+
+    def __init__(self, l1: OnDieCacheConfig, l2: OnDieCacheConfig):
+        self.l1_config = l1
+        self.l2_config = l2
+        self.l1 = SetAssociativeCache(l1.num_sets, l1.associativity, "lru")
+        self.l2 = SetAssociativeCache(l2.num_sets, l2.associativity, "lru")
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, line: int, is_write: bool) -> AccessResult:
+        """Look up ``line``; fill on miss; return hit level + write-backs."""
+        writebacks: List[int] = []
+        if self.l1.lookup(line, is_write):
+            self.l1_hits += 1
+            return AccessResult("l1", writebacks)
+
+        if self.l2.lookup(line, is_write):
+            self.l2_hits += 1
+            self._fill_l1(line, is_write, writebacks)
+            return AccessResult("l2", writebacks)
+
+        self.misses += 1
+        # Miss: the line arrives from the next level; install in L2 then L1.
+        evicted = self.l2.insert(line, dirty=False)
+        if evicted is not None and evicted.dirty:
+            writebacks.append(evicted.key)
+            self.writebacks += 1
+        self._fill_l1(line, is_write, writebacks)
+        return AccessResult("miss", writebacks)
+
+    def _fill_l1(self, line: int, is_write: bool, writebacks: List[int]) -> None:
+        evicted = self.l1.insert(line, dirty=is_write)
+        if evicted is None or not evicted.dirty:
+            return
+        # Dirty L1 victim drains into L2; if L2 must evict a dirty line to
+        # make room, that one continues toward memory.
+        if self.l2.contains(evicted.key):
+            self.l2.mark_dirty(evicted.key)
+            return
+        spilled = self.l2.insert(evicted.key, dirty=True)
+        if spilled is not None and spilled.dirty:
+            writebacks.append(spilled.key)
+            self.writebacks += 1
+
+    def invalidate_page(self, page_number: int) -> List[int]:
+        """Invalidate all 64 lines of a page; return dirty lines dropped.
+
+        The tagless design calls this when a cache address is recycled.
+        Dirty lines are returned so the caller can merge them into the
+        page's write-back (they are part of the page being evicted).
+        """
+        dirty: List[int] = []
+        first = page_number * LINES_PER_PAGE
+        for line in range(first, first + LINES_PER_PAGE):
+            for level in (self.l1, self.l2):
+                evicted = level.invalidate(line)
+                if evicted is not None and evicted.dirty:
+                    dirty.append(line)
+        return dirty
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters; cache contents stay warm."""
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        for level in (self.l1, self.l2):
+            level.hits = 0
+            level.misses = 0
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.l2_hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Fraction of accesses that left the on-die hierarchy."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def stats(self, prefix: str = "") -> dict:
+        return {
+            f"{prefix}l1_hits": float(self.l1_hits),
+            f"{prefix}l2_hits": float(self.l2_hits),
+            f"{prefix}misses": float(self.misses),
+            f"{prefix}writebacks": float(self.writebacks),
+        }

@@ -1,0 +1,197 @@
+"""Replacement policies for set-associative structures.
+
+Each policy tracks ordering metadata for the keys of *one* set (or one
+fully-associative structure).  The cache owns residency; the policy only
+answers "who should go next?".  LRU serves the on-die caches and the
+SRAM-tag baseline (the paper uses LRU there); FIFO and LRU both serve the
+tagless design's victim selection (Figure 11); CLOCK and random exist for
+ablation studies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+from typing import Hashable, Iterable, Optional
+
+
+class ReplacementPolicy:
+    """Interface: per-set ordering metadata for replacement decisions."""
+
+    def on_insert(self, key: Hashable) -> None:
+        """A new key became resident."""
+        raise NotImplementedError
+
+    def on_access(self, key: Hashable) -> None:
+        """A resident key was touched."""
+        raise NotImplementedError
+
+    def on_evict(self, key: Hashable) -> None:
+        """A resident key was removed (by any mechanism)."""
+        raise NotImplementedError
+
+    def victim(self) -> Hashable:
+        """Key that should be evicted next.  Undefined when empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def keys(self) -> Iterable[Hashable]:
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used ordering via an OrderedDict."""
+
+    __slots__ = ("_order",)
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def on_access(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def on_evict(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def victim(self) -> Hashable:
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._order.keys()
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: insertion order only, touches are ignored."""
+
+    __slots__ = ("_order",)
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def on_access(self, key: Hashable) -> None:
+        pass  # FIFO deliberately ignores reuse.
+
+    def on_evict(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def victim(self) -> Hashable:
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._order.keys()
+
+
+class ClockPolicy(ReplacementPolicy):
+    """CLOCK (second-chance FIFO): a 1-bit approximation of LRU.
+
+    Mentioned in Section 5.2 of the paper as the kind of LRU-like policy
+    whose extra state the tagless design avoids; included here so the
+    Figure 11 ablation can compare three points instead of two.
+    """
+
+    __slots__ = ("_ring", "_referenced")
+
+    def __init__(self) -> None:
+        self._ring: deque = deque()
+        self._referenced: dict = {}
+
+    def on_insert(self, key: Hashable) -> None:
+        self._ring.append(key)
+        self._referenced[key] = False
+
+    def on_access(self, key: Hashable) -> None:
+        if key in self._referenced:
+            self._referenced[key] = True
+
+    def on_evict(self, key: Hashable) -> None:
+        del self._referenced[key]
+        try:
+            self._ring.remove(key)
+        except ValueError:
+            pass
+
+    def victim(self) -> Hashable:
+        while True:
+            key = self._ring[0]
+            if key not in self._referenced:
+                self._ring.popleft()
+                continue
+            if self._referenced[key]:
+                self._referenced[key] = False
+                self._ring.rotate(-1)
+                continue
+            return key
+
+    def __len__(self) -> int:
+        return len(self._referenced)
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._referenced.keys()
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection with a seeded stream."""
+
+    __slots__ = ("_keys", "_rng")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._keys: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._rng = random.Random(seed)
+
+    def on_insert(self, key: Hashable) -> None:
+        self._keys[key] = None
+
+    def on_access(self, key: Hashable) -> None:
+        pass
+
+    def on_evict(self, key: Hashable) -> None:
+        del self._keys[key]
+
+    def victim(self) -> Hashable:
+        index = self._rng.randrange(len(self._keys))
+        for i, key in enumerate(self._keys):
+            if i == index:
+                return key
+        raise IndexError("victim() on empty policy")
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._keys.keys()
+
+
+_POLICY_FACTORIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "clock": ClockPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Instantiate a policy by name ("lru", "fifo", "clock", "random")."""
+    try:
+        factory = _POLICY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"expected one of {sorted(_POLICY_FACTORIES)}"
+        ) from None
+    if name == "random":
+        return factory(seed or 0)
+    return factory()

@@ -1,0 +1,149 @@
+"""Generic set-associative cache keyed by an integer block identifier.
+
+Used for the on-die L1 and L2 (keys are global 64 B line numbers) and --
+with a page-sized "line" -- anywhere a set-associative page structure is
+needed.  The cache tracks residency and dirtiness; timing and energy stay
+with the caller, keeping this structure purely functional and easy to
+property-test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sram.replacement import ReplacementPolicy, make_policy
+
+
+@dataclasses.dataclass
+class Eviction:
+    """A block pushed out of the cache: its key and whether it was dirty."""
+
+    key: int
+    dirty: bool
+
+
+class _CacheSet:
+    """One associativity set: residency map plus a replacement policy."""
+
+    __slots__ = ("ways", "entries", "policy")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy):
+        self.ways = ways
+        self.entries: Dict[int, bool] = {}  # key -> dirty
+        self.policy = policy
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache.
+
+    Parameters
+    ----------
+    num_sets, ways:
+        Geometry; ``num_sets * ways`` blocks total.  ``num_sets == 1``
+        yields a fully associative structure.
+    policy:
+        Replacement policy name understood by
+        :func:`repro.sram.replacement.make_policy`.
+    """
+
+    def __init__(self, num_sets: int, ways: int, policy: str = "lru"):
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError(
+                f"invalid cache geometry: num_sets={num_sets} ways={ways}"
+            )
+        self.num_sets = num_sets
+        self.ways = ways
+        self.policy_name = policy
+        self._sets: List[_CacheSet] = [
+            _CacheSet(ways, make_policy(policy, seed=i)) for i in range(num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.ways
+
+    def _set_for(self, key: int) -> _CacheSet:
+        return self._sets[key % self.num_sets]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def lookup(self, key: int, is_write: bool = False) -> bool:
+        """Probe for ``key``; on a hit, update recency and dirtiness."""
+        cache_set = self._set_for(key)
+        if key in cache_set.entries:
+            self.hits += 1
+            cache_set.policy.on_access(key)
+            if is_write:
+                cache_set.entries[key] = True
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, key: int) -> bool:
+        """Residency check with no statistics or recency side effects."""
+        return key in self._set_for(key).entries
+
+    def insert(self, key: int, dirty: bool = False) -> Optional[Eviction]:
+        """Install ``key``, evicting a victim if the set is full.
+
+        Returns the eviction (if any) so the caller can write back dirty
+        data.  Inserting an already-resident key refreshes its recency and
+        merges dirtiness instead of duplicating it.
+        """
+        cache_set = self._set_for(key)
+        if key in cache_set.entries:
+            cache_set.policy.on_access(key)
+            cache_set.entries[key] = cache_set.entries[key] or dirty
+            return None
+        evicted = None
+        if len(cache_set.entries) >= cache_set.ways:
+            victim = cache_set.policy.victim()
+            was_dirty = cache_set.entries.pop(victim)
+            cache_set.policy.on_evict(victim)
+            evicted = Eviction(victim, was_dirty)
+        cache_set.entries[key] = dirty
+        cache_set.policy.on_insert(key)
+        return evicted
+
+    def invalidate(self, key: int) -> Optional[Eviction]:
+        """Drop ``key`` if resident, returning it (with dirtiness)."""
+        cache_set = self._set_for(key)
+        if key not in cache_set.entries:
+            return None
+        dirty = cache_set.entries.pop(key)
+        cache_set.policy.on_evict(key)
+        return Eviction(key, dirty)
+
+    def mark_dirty(self, key: int) -> None:
+        """Set the dirty bit of a resident key (no-op if absent)."""
+        cache_set = self._set_for(key)
+        if key in cache_set.entries:
+            cache_set.entries[key] = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(s.entries) for s in self._sets)
+
+    def __iter__(self) -> Iterator[int]:
+        for cache_set in self._sets:
+            yield from cache_set.entries
+
+    def occupancy(self) -> float:
+        """Fraction of the cache currently valid."""
+        return len(self) / self.capacity_blocks
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def set_of(self, key: int) -> Tuple[int, ...]:
+        """Keys currently resident in ``key``'s set (testing aid)."""
+        return tuple(self._set_for(key).entries)

@@ -1,0 +1,20 @@
+"""Virtual-memory substrate: page tables, TLBs and the page-table walker.
+
+The paper's mechanism lives almost entirely in this layer: the page table
+gains three bits (Valid-in-Cache, Non-Cacheable, Pending-Update,
+Section 3.2) and the TLB is reused unmodified as the **cTLB** -- identical
+hardware, but the stored translation is a virtual-to-cache mapping.
+"""
+
+from repro.vm.page_table import PageTable, PageTableEntry, PhysicalFrameAllocator
+from repro.vm.tlb import TLB, TLBHierarchy
+from repro.vm.walker import PageTableWalker
+
+__all__ = [
+    "PageTable",
+    "PageTableEntry",
+    "PhysicalFrameAllocator",
+    "TLB",
+    "TLBHierarchy",
+    "PageTableWalker",
+]

@@ -1,0 +1,198 @@
+"""Two-level TLB hierarchy (Table 3: 32-entry L1, 512-entry L2 per core).
+
+The same hardware serves as the conventional TLB in the baselines and as
+the **cTLB** in the tagless design -- the paper stresses the organisation
+is identical; only the meaning of the stored translation changes.  Each
+entry therefore carries an opaque ``target_page`` (physical or cache page)
+plus the NC bit the cTLB needs.
+
+The hierarchy is inclusive (L1 subset of L2), so "resident in any TLB" --
+the condition the GIPT's TLB-residence bit vector tracks -- reduces to
+membership in the L2 TLB, and an L2 eviction is *the* event at which a
+page leaves TLB reach.  Callers observe those events via the eviction
+callback to maintain GIPT residence bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Callable, Optional
+
+EvictionCallback = Callable[[int, "TLBEntry"], None]
+
+
+@dataclasses.dataclass
+class TLBEntry:
+    """Payload of one TLB slot."""
+
+    target_page: int
+    non_cacheable: bool = False
+
+
+class TLB:
+    """A fully associative, LRU TLB level.
+
+    Real L1 TLBs are fully associative and L2 TLBs highly associative;
+    modelling both as fully associative LRU matches the paper's setup
+    while keeping miss-rate behaviour faithful.
+    """
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("a TLB needs at least one entry")
+        self.capacity = entries
+        self._map: "OrderedDict[int, TLBEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, virtual_page: int) -> Optional[TLBEntry]:
+        entry = self._map.get(virtual_page)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._map.move_to_end(virtual_page)
+        return entry
+
+    def insert(self, virtual_page: int, entry: TLBEntry):
+        """Install a translation; returns the evicted (vpn, entry) or None."""
+        evicted = None
+        if virtual_page not in self._map and len(self._map) >= self.capacity:
+            evicted = self._map.popitem(last=False)
+        self._map[virtual_page] = entry
+        self._map.move_to_end(virtual_page)
+        return evicted
+
+    def invalidate(self, virtual_page: int) -> Optional[TLBEntry]:
+        """Drop one translation (TLB shootdown of a single VPN)."""
+        return self._map.pop(virtual_page, None)
+
+    def contains(self, virtual_page: int) -> bool:
+        return virtual_page in self._map
+
+    def peek(self, virtual_page: int) -> Optional[TLBEntry]:
+        """Read an entry without touching LRU state or statistics."""
+        return self._map.get(virtual_page)
+
+    def flush(self) -> int:
+        """Drop everything (full shootdown); returns entries dropped."""
+        count = len(self._map)
+        self._map.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self):
+        return iter(self._map)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class TLBHierarchy:
+    """Inclusive L1+L2 TLB pair for one core."""
+
+    def __init__(
+        self,
+        l1_entries: int,
+        l2_entries: int,
+        on_l2_evict: Optional[EvictionCallback] = None,
+    ):
+        if l2_entries < l1_entries:
+            raise ValueError("inclusive hierarchy requires l2 >= l1 entries")
+        self.l1 = TLB(l1_entries)
+        self.l2 = TLB(l2_entries)
+        self.on_l2_evict = on_l2_evict
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+
+    def lookup(self, virtual_page: int):
+        """Probe L1 then L2.
+
+        Returns ``(level, entry)`` where level is "l1", "l2" or "miss".
+        An L2 hit is promoted into L1 (the dropped L1 victim remains in
+        L2, preserving inclusion).
+        """
+        entry = self.l1.lookup(virtual_page)
+        if entry is not None:
+            self.l1_hits += 1
+            # Keep L2's LRU in step with actual use so that the pages
+            # protected from eviction are the genuinely hot ones.
+            if self.l2.contains(virtual_page):
+                self.l2._map.move_to_end(virtual_page)
+            return "l1", entry
+        entry = self.l2.lookup(virtual_page)
+        if entry is not None:
+            self.l2_hits += 1
+            self.l1.insert(virtual_page, entry)
+            return "l2", entry
+        self.misses += 1
+        return "miss", None
+
+    def install(self, virtual_page: int, entry: TLBEntry) -> None:
+        """Install a fresh translation after a walk (into L2 then L1)."""
+        evicted = self.l2.insert(virtual_page, entry)
+        if evicted is not None:
+            evicted_vpn, evicted_entry = evicted
+            # Inclusion: a page leaving L2 must leave L1 too.
+            self.l1.invalidate(evicted_vpn)
+            if self.on_l2_evict is not None:
+                self.on_l2_evict(evicted_vpn, evicted_entry)
+        self.l1.insert(virtual_page, entry)
+
+    def invalidate(self, virtual_page: int) -> bool:
+        """Shoot down one translation from both levels.
+
+        Returns True if the page was resident in L2 (i.e. within TLB
+        reach).  Fires the eviction callback so residence bookkeeping
+        stays consistent.
+        """
+        self.l1.invalidate(virtual_page)
+        entry = self.l2.invalidate(virtual_page)
+        if entry is None:
+            return False
+        if self.on_l2_evict is not None:
+            self.on_l2_evict(virtual_page, entry)
+        return True
+
+    def resident(self, virtual_page: int) -> bool:
+        """Is the page within this core's TLB reach?"""
+        return self.l2.contains(virtual_page)
+
+    def update_target(self, virtual_page: int, entry: TLBEntry) -> None:
+        """Overwrite a resident translation in place (both levels)."""
+        if self.l2.contains(virtual_page):
+            self.l2._map[virtual_page] = entry
+        if self.l1.contains(virtual_page):
+            self.l1._map[virtual_page] = entry
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters; translations stay resident."""
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+        for level in (self.l1, self.l2):
+            level.hits = 0
+            level.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.l2_hits + self.misses
+
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def stats(self, prefix: str = "") -> dict:
+        return {
+            f"{prefix}l1_hits": float(self.l1_hits),
+            f"{prefix}l2_hits": float(self.l2_hits),
+            f"{prefix}misses": float(self.misses),
+        }

@@ -1,0 +1,30 @@
+"""Synthetic workload models standing in for SPEC CPU 2006 and PARSEC.
+
+The paper drives McSimA+ with Simpoint slices of real binaries; this
+reproduction substitutes parameterised trace generators whose knobs --
+footprint, accesses-per-kilo-instruction, hot-set size and skew,
+streaming share, singleton share, burst length, write ratio, base CPI and
+MLP -- encode each program's published memory character.  The shapes of
+Figures 7-13 are driven by exactly these properties (footprint versus
+cache capacity, page reuse, spatial locality), which is what makes the
+substitution behaviour-preserving.
+"""
+
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.mixes import MIXES, mix_programs
+from repro.workloads.parsec import PARSEC_PROFILES, parsec_profile
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.spec import SPEC_PROFILES, spec_profile
+from repro.workloads.trace import AccessTrace
+
+__all__ = [
+    "TraceGenerator",
+    "MIXES",
+    "mix_programs",
+    "PARSEC_PROFILES",
+    "parsec_profile",
+    "WorkloadProfile",
+    "SPEC_PROFILES",
+    "spec_profile",
+    "AccessTrace",
+]

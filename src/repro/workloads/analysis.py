@@ -1,0 +1,161 @@
+"""Trace characterisation: the statistics that calibrate the generators.
+
+The synthetic-workload substitution (DESIGN.md section 2) is only valid
+if the traces actually exhibit the memory characters the paper's results
+depend on.  This module measures those characters from any
+:class:`~repro.workloads.trace.AccessTrace` -- generated or loaded --
+so calibration is checkable rather than asserted:
+
+- page-level **reuse distribution** (accesses per touched page);
+- **singleton fraction** (pages with fewer than a threshold of touches
+  -- the paper's Section 5.4 criterion);
+- **spatial locality** (distinct 64 B blocks touched per page, and the
+  share of sequential line steps);
+- **temporal concentration** (what share of accesses the hottest N% of
+  pages absorb);
+- **page-transition rate** (how often consecutive accesses change page
+  -- the first-order driver of TLB miss rates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from repro.workloads.trace import AccessTrace
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceCharacter:
+    """Summary statistics of one trace."""
+
+    name: str
+    accesses: int
+    footprint_pages: int
+    apki: float
+    write_fraction: float
+    mean_accesses_per_page: float
+    median_accesses_per_page: float
+    singleton_page_fraction: float
+    singleton_access_fraction: float
+    hot1pct_access_share: float
+    hot10pct_access_share: float
+    mean_blocks_per_page: float
+    sequential_step_fraction: float
+    page_transition_rate: float
+
+    def row(self) -> list:
+        """Row for :func:`character_table`."""
+        return [
+            self.name,
+            self.footprint_pages,
+            round(self.apki, 1),
+            f"{self.mean_accesses_per_page:.1f}",
+            f"{self.singleton_page_fraction:.2f}",
+            f"{self.hot10pct_access_share:.2f}",
+            f"{self.mean_blocks_per_page:.1f}",
+            f"{self.page_transition_rate:.2f}",
+        ]
+
+
+def characterize(
+    trace: AccessTrace, singleton_threshold: int = 32
+) -> TraceCharacter:
+    """Measure a trace's memory character.
+
+    ``singleton_threshold`` follows the paper's Section 5.4 criterion:
+    a page with fewer accesses than this counts as a (near-)singleton.
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot characterise an empty trace")
+    pages = trace.virtual_pages
+    unique_pages, counts = np.unique(pages, return_counts=True)
+
+    singleton_mask = counts < singleton_threshold
+    singleton_pages = int(singleton_mask.sum())
+    singleton_accesses = int(counts[singleton_mask].sum())
+
+    sorted_counts = np.sort(counts)[::-1]
+    def hot_share(fraction: float) -> float:
+        n = max(1, int(len(sorted_counts) * fraction))
+        return float(sorted_counts[:n].sum() / counts.sum())
+
+    # Distinct blocks per page: useful-block density (over-fetch's
+    # mirror image).
+    combined = pages.astype(np.int64) * 64 + trace.lines.astype(np.int64)
+    blocks_per_page = (
+        np.unique(combined).size / unique_pages.size
+    )
+
+    line_steps = np.diff(trace.lines.astype(np.int64)) % 64
+    same_page = np.diff(pages) == 0
+    if same_page.any():
+        sequential = float(
+            ((line_steps == 1) & same_page).sum() / same_page.sum()
+        )
+    else:
+        sequential = 0.0
+    transitions = float((~same_page).mean()) if len(pages) > 1 else 0.0
+
+    return TraceCharacter(
+        name=trace.name,
+        accesses=len(trace),
+        footprint_pages=int(unique_pages.size),
+        apki=trace.accesses_per_kilo_instruction,
+        write_fraction=trace.write_fraction(),
+        mean_accesses_per_page=float(counts.mean()),
+        median_accesses_per_page=float(np.median(counts)),
+        singleton_page_fraction=singleton_pages / unique_pages.size,
+        singleton_access_fraction=singleton_accesses / len(trace),
+        hot1pct_access_share=hot_share(0.01),
+        hot10pct_access_share=hot_share(0.10),
+        mean_blocks_per_page=float(blocks_per_page),
+        sequential_step_fraction=sequential,
+        page_transition_rate=transitions,
+    )
+
+
+def reuse_histogram(trace: AccessTrace, buckets=(1, 2, 4, 8, 16, 32, 64,
+                                                 128)) -> Dict[str, int]:
+    """Pages bucketed by access count (the Figure-13 intuition)."""
+    __, counts = np.unique(trace.virtual_pages, return_counts=True)
+    histogram: Dict[str, int] = {}
+    previous = 0
+    for bound in buckets:
+        key = f"{previous + 1}-{bound}"
+        histogram[key] = int(((counts > previous) & (counts <= bound)).sum())
+        previous = bound
+    histogram[f">{buckets[-1]}"] = int((counts > buckets[-1]).sum())
+    return histogram
+
+
+def working_set_curve(trace: AccessTrace, num_points: int = 10):
+    """Distinct pages touched within growing prefixes of the trace.
+
+    A compact stand-in for the classic working-set curve; the
+    calibration examples print it to show footprints ramping the way
+    real slices do (fast early growth from first touches, then a slow
+    singleton tail).
+    """
+    if len(trace) == 0:
+        return []
+    points = []
+    for i in range(1, num_points + 1):
+        end = max(1, len(trace) * i // num_points)
+        touched = int(np.unique(trace.virtual_pages[:end]).size)
+        points.append((end, touched))
+    return points
+
+
+def character_table(characters) -> str:
+    """Render a list of :class:`TraceCharacter` as an aligned table."""
+    from repro.analysis.report import format_table
+
+    return format_table(
+        "Workload character (per generated trace)",
+        ["workload", "pages", "apki", "acc/page", "singleton pg frac",
+         "hot-10% share", "blocks/page", "page-transition"],
+        [c.row() for c in characters],
+    )

@@ -1,0 +1,96 @@
+"""Workload profile: the knobs that define a synthetic program's memory
+behaviour.
+
+Each knob maps to a measurable property the paper's results depend on:
+
+- ``footprint_mb`` -- how much memory the program touches; against the
+  (scaled) DRAM cache capacity this sets capacity pressure (Figure 10);
+- ``apki`` -- memory accesses per kilo-instruction reaching the L2-bound
+  stream; with the on-die filter this yields the MPKI that makes a
+  program "memory-bound";
+- ``hot_page_fraction`` / ``hot_access_fraction`` / ``zipf_alpha`` -- a
+  skewed hot set, the source of page reuse and victim hits;
+- ``stream_fraction`` -- bursts that walk the footprint sequentially
+  (row-buffer friendly, moderate reuse: the stream wraps around);
+- ``cold_fraction`` of *accesses* go to cold/singleton pages touched once
+  or twice -- the low-reuse pages behind GemsFDTD's and milc's gap to the
+  ideal cache (Section 5.1) and the Section 5.4 NC case study;
+- ``burst_length`` -- mean accesses per page visit (spatial locality);
+  page-based caching thrives when this is high;
+- ``sequential_lines`` -- whether a burst walks 64 B lines in order
+  (streaming codes) or scatters within the page (pointer chasing);
+- ``write_fraction`` -- store share, which drives write-back traffic;
+- ``base_cpi`` / ``mlp`` -- the core-model parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.addressing import BYTES_PER_MB, PAGE_BYTES
+from repro.common.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameter set for one synthetic program."""
+
+    name: str
+    footprint_mb: float
+    apki: float
+    hot_page_fraction: float = 0.15
+    hot_access_fraction: float = 0.5
+    zipf_alpha: float = 0.8
+    stream_fraction: float = 0.3
+    cold_fraction: float = 0.1
+    burst_length: float = 6.0
+    sequential_lines: bool = True
+    write_fraction: float = 0.25
+    base_cpi: float = 0.5
+    mlp: float = 2.0
+    #: Suggested trace length when none is given explicitly.
+    default_accesses: int = 200_000
+
+    def __post_init__(self) -> None:
+        shares = (
+            self.hot_access_fraction + self.stream_fraction + self.cold_fraction
+        )
+        if shares > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"{self.name}: access shares sum to {shares:.3f} > 1 "
+                "(hot + stream + cold must leave room for the uniform rest)"
+            )
+        if not (0 < self.hot_page_fraction <= 1):
+            raise ConfigurationError(
+                f"{self.name}: hot_page_fraction must be in (0, 1]"
+            )
+        if self.footprint_mb <= 0 or self.apki <= 0 or self.burst_length < 1:
+            raise ConfigurationError(
+                f"{self.name}: footprint, apki and burst_length must be "
+                "positive"
+            )
+
+    def footprint_pages(self, capacity_scale: int = 1) -> int:
+        """Touched pages after the simulation-wide capacity scaling."""
+        pages = int(self.footprint_mb * BYTES_PER_MB / PAGE_BYTES) // capacity_scale
+        return max(64, pages)
+
+    @property
+    def uniform_access_fraction(self) -> float:
+        """Share of accesses drawn uniformly over the whole footprint."""
+        return max(
+            0.0,
+            1.0
+            - self.hot_access_fraction
+            - self.stream_fraction
+            - self.cold_fraction,
+        )
+
+    @property
+    def mean_instruction_gap(self) -> float:
+        """Mean non-memory instructions between two trace accesses."""
+        return max(1.0, 1000.0 / self.apki - 1.0)
+
+    def scaled(self, **overrides) -> "WorkloadProfile":
+        """A copy with some knobs overridden (sensitivity studies)."""
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,200 @@
+"""SPEC CPU 2006 memory-bound program models (Section 4).
+
+The paper selects the 11 most memory-bound SPEC 2006 programs by MPKI.
+Footprints follow the published SPEC 2006 memory-footprint data
+(Henning, CAN 2007); access characters (streaming vs pointer-chasing,
+reuse, write share) follow each program's well-documented behaviour:
+
+- ``mcf`` -- huge pointer-chasing footprint, poor spatial locality;
+- ``milc`` -- large lattice-QCD arrays, streaming with little reuse;
+- ``leslie3d``/``bwaves``/``zeusmp``/``lbm`` -- stencil/CFD streaming
+  codes with strong spatial locality, lbm with a heavy store share;
+- ``soplex`` -- sparse LP solver, mixed pointer/stream behaviour;
+- ``GemsFDTD`` -- FDTD solver with a large, low-reuse working set (the
+  paper singles it out in Figure 7 and the Section 5.4 case study);
+- ``omnetpp`` -- discrete-event simulation, pointer-heavy, medium set;
+- ``sphinx3`` -- speech recognition, small hot working set, high reuse;
+- ``libquantum`` -- one big vector swept sequentially over and over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.profile import WorkloadProfile
+
+SPEC_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            name="mcf",
+            footprint_mb=130.0,
+            apki=42.0,
+            hot_page_fraction=0.12,
+            hot_access_fraction=0.55,
+            zipf_alpha=0.9,
+            stream_fraction=0.08,
+            cold_fraction=0.008,
+            burst_length=2.5,
+            sequential_lines=False,
+            write_fraction=0.18,
+            base_cpi=0.9,
+            mlp=1.6,
+        ),
+        WorkloadProfile(
+            name="milc",
+            footprint_mb=155.0,
+            apki=30.0,
+            hot_page_fraction=0.08,
+            hot_access_fraction=0.30,
+            zipf_alpha=0.7,
+            stream_fraction=0.45,
+            cold_fraction=0.009,
+            burst_length=8.0,
+            write_fraction=0.30,
+            base_cpi=0.6,
+            mlp=2.0,
+        ),
+        WorkloadProfile(
+            name="leslie3d",
+            footprint_mb=30.0,
+            apki=24.0,
+            hot_page_fraction=0.20,
+            hot_access_fraction=0.45,
+            zipf_alpha=0.8,
+            stream_fraction=0.42,
+            cold_fraction=0.006,
+            burst_length=10.0,
+            write_fraction=0.30,
+            base_cpi=0.55,
+            mlp=2.4,
+        ),
+        WorkloadProfile(
+            name="soplex",
+            footprint_mb=65.0,
+            apki=28.0,
+            hot_page_fraction=0.12,
+            hot_access_fraction=0.50,
+            zipf_alpha=0.9,
+            stream_fraction=0.30,
+            cold_fraction=0.008,
+            burst_length=5.0,
+            write_fraction=0.15,
+            base_cpi=0.7,
+            mlp=1.9,
+        ),
+        WorkloadProfile(
+            name="GemsFDTD",
+            footprint_mb=190.0,
+            apki=34.0,
+            hot_page_fraction=0.08,
+            hot_access_fraction=0.30,
+            zipf_alpha=0.6,
+            stream_fraction=0.40,
+            cold_fraction=0.009,
+            burst_length=8.0,
+            write_fraction=0.30,
+            base_cpi=0.6,
+            mlp=2.0,
+        ),
+        WorkloadProfile(
+            name="lbm",
+            footprint_mb=95.0,
+            apki=30.0,
+            hot_page_fraction=0.05,
+            hot_access_fraction=0.12,
+            zipf_alpha=0.6,
+            stream_fraction=0.80,
+            cold_fraction=0.006,
+            burst_length=20.0,
+            write_fraction=0.45,
+            base_cpi=0.5,
+            mlp=2.8,
+        ),
+        WorkloadProfile(
+            name="omnetpp",
+            footprint_mb=55.0,
+            apki=26.0,
+            hot_page_fraction=0.15,
+            hot_access_fraction=0.60,
+            zipf_alpha=1.0,
+            stream_fraction=0.10,
+            cold_fraction=0.008,
+            burst_length=3.0,
+            sequential_lines=False,
+            write_fraction=0.22,
+            base_cpi=0.8,
+            mlp=1.7,
+        ),
+        WorkloadProfile(
+            name="sphinx3",
+            footprint_mb=20.0,
+            apki=20.0,
+            hot_page_fraction=0.25,
+            hot_access_fraction=0.65,
+            zipf_alpha=1.0,
+            stream_fraction=0.22,
+            cold_fraction=0.004,
+            burst_length=6.0,
+            write_fraction=0.08,
+            base_cpi=0.6,
+            mlp=2.2,
+        ),
+        WorkloadProfile(
+            name="libquantum",
+            footprint_mb=40.0,
+            apki=32.0,
+            hot_page_fraction=0.05,
+            hot_access_fraction=0.05,
+            zipf_alpha=0.5,
+            stream_fraction=0.92,
+            cold_fraction=0.004,
+            burst_length=32.0,
+            write_fraction=0.25,
+            base_cpi=0.45,
+            mlp=3.0,
+        ),
+        WorkloadProfile(
+            name="bwaves",
+            footprint_mb=145.0,
+            apki=27.0,
+            hot_page_fraction=0.08,
+            hot_access_fraction=0.22,
+            zipf_alpha=0.7,
+            stream_fraction=0.65,
+            cold_fraction=0.010,
+            burst_length=14.0,
+            write_fraction=0.28,
+            base_cpi=0.5,
+            mlp=2.6,
+        ),
+        WorkloadProfile(
+            name="zeusmp",
+            footprint_mb=95.0,
+            apki=22.0,
+            hot_page_fraction=0.12,
+            hot_access_fraction=0.40,
+            zipf_alpha=0.8,
+            stream_fraction=0.42,
+            cold_fraction=0.008,
+            burst_length=10.0,
+            write_fraction=0.30,
+            base_cpi=0.55,
+            mlp=2.3,
+        ),
+)
+}
+
+#: Display order used by Figure 7 style reports.
+SPEC_ORDER: Tuple[str, ...] = tuple(sorted(SPEC_PROFILES))
+
+
+def spec_profile(name: str) -> WorkloadProfile:
+    """Look up a SPEC program model by name."""
+    try:
+        return SPEC_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown SPEC program {name!r}; known: {sorted(SPEC_PROFILES)}"
+        ) from None

@@ -1,0 +1,92 @@
+"""Equations 1-5 verified against hand-computed values."""
+
+import pytest
+
+from repro.analysis.amat import (
+    AMATInputs,
+    amat_sram_tag,
+    amat_tagless,
+    avg_l3_latency_sram,
+    miss_penalty_ctlb,
+    tagless_advantage,
+)
+
+
+@pytest.fixture
+def inputs():
+    """A hand-checkable parameter point (values in cycles/rates)."""
+    return AMATInputs(
+        tlb_miss_rate=0.02,
+        tlb_miss_penalty=60.0,
+        l12_hit_time=4.0,
+        l12_miss_rate=0.3,
+        tag_time=11.0,
+        block_time_in_pkg=58.0,
+        page_time_off_pkg=1000.0,
+        l3_miss_rate=0.05,
+        victim_miss_rate=0.2,
+        gipt_time=80.0,
+    )
+
+
+def test_equation3_avg_l3_latency(inputs):
+    # 11 + 58 + 0.05 * 1000 = 119
+    assert avg_l3_latency_sram(inputs) == pytest.approx(119.0)
+
+
+def test_equations_1_and_2(inputs):
+    # AMAT_tlb_hit = 4 + 0.3 * 119 = 39.7; plus 0.02 * 60 = 1.2 -> 40.9
+    assert amat_sram_tag(inputs) == pytest.approx(40.9)
+
+
+def test_equation5_miss_penalty(inputs):
+    # 60 + 0.2 * (80 + 1000) = 276
+    assert miss_penalty_ctlb(inputs) == pytest.approx(276.0)
+
+
+def test_equation4_amat_tagless(inputs):
+    # 0.02 * 276 + 4 + 0.3 * 58 = 5.52 + 4 + 17.4 = 26.92
+    assert amat_tagless(inputs) == pytest.approx(26.92)
+
+
+def test_tagless_advantage_positive_here(inputs):
+    assert tagless_advantage(inputs) == pytest.approx(40.9 - 26.92)
+
+
+def test_tagless_loses_when_tlb_misses_dominate(inputs):
+    """Sweeping the cTLB miss rate up must eventually flip the sign:
+    every miss pays the fill, so a thrashing TLB erodes the win."""
+    import dataclasses
+
+    losing = dataclasses.replace(
+        inputs, tlb_miss_rate=0.5, victim_miss_rate=1.0, l12_miss_rate=0.05
+    )
+    assert tagless_advantage(losing) < 0
+
+
+def test_no_tag_time_anywhere_in_tagless(inputs):
+    """Raising tag_time changes SRAM-tag AMAT but never tagless AMAT."""
+    import dataclasses
+
+    slow_tags = dataclasses.replace(inputs, tag_time=50.0)
+    assert amat_tagless(slow_tags) == amat_tagless(inputs)
+    assert amat_sram_tag(slow_tags) > amat_sram_tag(inputs)
+
+
+def test_rates_validated():
+    with pytest.raises(ValueError):
+        AMATInputs(
+            tlb_miss_rate=1.5, tlb_miss_penalty=60, l12_hit_time=4,
+            l12_miss_rate=0.3, tag_time=11, block_time_in_pkg=58,
+            page_time_off_pkg=1000, l3_miss_rate=0.05,
+            victim_miss_rate=0.2, gipt_time=80,
+        )
+
+
+def test_perfect_victim_cache_reduces_penalty_to_walk(inputs):
+    import dataclasses
+
+    perfect = dataclasses.replace(inputs, victim_miss_rate=0.0)
+    assert miss_penalty_ctlb(perfect) == pytest.approx(
+        inputs.tlb_miss_penalty
+    )

@@ -1,0 +1,67 @@
+"""Energy breakdown / EDP tests."""
+
+import pytest
+
+from repro.analysis.energy import EnergyBreakdown, compute_energy
+from repro.cpu.multicore import BoundTrace, run_interleaved
+from repro.designs import create_design
+
+
+def test_breakdown_totals():
+    b = EnergyBreakdown(
+        core_j=1.0, ondie_dynamic_j=0.1, ondie_leakage_j=0.2,
+        tag_dynamic_j=0.05, tag_leakage_j=0.15, in_package_j=0.3,
+        off_package_j=0.4,
+    )
+    assert b.total_j == pytest.approx(2.2)
+    assert b.dram_j == pytest.approx(0.7)
+    assert b.tag_j == pytest.approx(0.2)
+    assert b.as_dict()["total_j"] == pytest.approx(2.2)
+
+
+def run_design(design, trace):
+    return run_interleaved(design, [BoundTrace(0, 0, trace)])
+
+
+def test_sram_design_pays_tag_energy(small_config, tiny_trace):
+    design = create_design("sram", small_config)
+    cores = run_design(design, tiny_trace)
+    energy = compute_energy(design, cores, elapsed_ns=1e6)
+    assert energy.tag_dynamic_j > 0
+    assert energy.tag_leakage_j > 0
+
+
+def test_tagless_design_has_zero_tag_energy(small_config, tiny_trace):
+    design = create_design("tagless", small_config)
+    cores = run_design(design, tiny_trace)
+    energy = compute_energy(design, cores, elapsed_ns=1e6)
+    assert energy.tag_j == 0.0
+
+
+def test_all_components_positive(small_config, tiny_trace):
+    design = create_design("no-l3", small_config)
+    cores = run_design(design, tiny_trace)
+    energy = compute_energy(design, cores, elapsed_ns=1e6)
+    assert energy.core_j > 0
+    assert energy.ondie_dynamic_j > 0
+    assert energy.ondie_leakage_j > 0
+    assert energy.off_package_j > 0
+
+
+def test_idle_cores_still_burn_power(small_mp_config, tiny_trace):
+    """A 4-core config running one trace charges idle power for the
+    other three cores over the whole run."""
+    design = create_design("no-l3", small_mp_config)
+    cores = run_design(design, tiny_trace)
+    energy = compute_energy(design, cores, elapsed_ns=1e6)
+    floor = 3 * small_mp_config.energy.core_idle_watts * 1e6 * 1e-9
+    assert energy.core_j > floor
+
+
+def test_longer_runs_cost_more_leakage(small_config, tiny_trace):
+    design = create_design("no-l3", small_config)
+    cores = run_design(design, tiny_trace)
+    short = compute_energy(design, cores, elapsed_ns=1e6)
+    long = compute_energy(design, cores, elapsed_ns=2e6)
+    assert long.ondie_leakage_j > short.ondie_leakage_j
+    assert long.total_j > short.total_j

@@ -1,0 +1,79 @@
+"""Experiment runner tests (tiny configurations for speed)."""
+
+import pytest
+
+from repro.analysis import experiments as ex
+
+
+@pytest.fixture(scope="module")
+def tiny_single():
+    return ex.run_single_programmed(
+        programs=("sphinx3", "libquantum"),
+        designs=("no-l3", "sram", "tagless"),
+        accesses=6_000,
+        capacity_scale=64,
+    )
+
+
+def test_single_programmed_structure(tiny_single):
+    assert tiny_single.programs == ("sphinx3", "libquantum")
+    norm = tiny_single.normalized_ipc("sphinx3")
+    assert norm["no-l3"] == pytest.approx(1.0)
+    assert set(norm) == {"no-l3", "sram", "tagless"}
+
+
+def test_single_programmed_tables_render(tiny_single):
+    assert "Figure 7a" in tiny_single.ipc_table()
+    assert "Figure 7b" in tiny_single.edp_table()
+    assert "Figure 8" in tiny_single.l3_latency_table()
+    assert "geomean" in tiny_single.ipc_table()
+
+
+def test_geomeans_positive(tiny_single):
+    for design in tiny_single.designs:
+        assert tiny_single.geomean_ipc(design) > 0
+        assert tiny_single.geomean_edp(design) > 0
+
+
+def test_multi_programmed_runner():
+    result = ex.run_multi_programmed(
+        mixes=("MIX1",), designs=("no-l3", "tagless"), accesses=4_000
+    )
+    norm = result.normalized_ipc("MIX1")
+    assert norm["no-l3"] == pytest.approx(1.0)
+    assert norm["tagless"] > 0
+    assert "MIX1" in result.ipc_table()
+
+
+def test_cache_size_sweep_runner():
+    result = ex.run_cache_size_sweep(
+        sizes_mb=(512, 1024), mixes=("MIX1",), accesses=4_000
+    )
+    for size in (512, 1024):
+        norm = result.normalized_ipc(size, "MIX1")
+        assert norm["bi"] == pytest.approx(1.0)
+    assert "512MB" in result.table()
+
+
+def test_replacement_runner():
+    result = ex.run_replacement_study(mixes=("MIX1",), accesses=4_000)
+    assert result.lru_over_fifo("MIX1") > 0
+    assert "fifo" in result.table().lower()
+
+
+def test_parsec_runner():
+    result = ex.run_parsec(
+        programs=("streamcluster",), designs=("no-l3", "tagless"),
+        accesses=4_000,
+    )
+    norm = result.normalized_ipc("streamcluster")
+    assert norm["tagless"] > 0
+    assert "streamcluster" in result.ipc_table()
+
+
+def test_noncacheable_runner():
+    result = ex.run_noncacheable_study(accesses=20_000)
+    assert result.nc_pages > 0
+    assert result.baseline.ipc_sum > 0
+    assert result.with_nc.ipc_sum > 0
+    assert "Figure 13" in result.table()

@@ -1,0 +1,36 @@
+"""Markdown rendering tests."""
+
+from repro.analysis.markdown import (
+    experiment_section,
+    markdown_table,
+    normalized_series_markdown,
+)
+
+
+def test_markdown_table_structure():
+    table = markdown_table(["a", "b"], [["x", 1.5], ["y", 2.0]])
+    lines = table.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| x | 1.500 |"
+    assert len(lines) == 4
+
+
+def test_markdown_table_float_format():
+    table = markdown_table(["v"], [[3.14159]], float_format="{:.1f}")
+    assert "| 3.1 |" in table
+
+
+def test_normalized_series():
+    text = normalized_series_markdown(
+        "IPC", {"mcf": {"sram": 1.3, "tagless": 1.4}}, ["sram", "tagless"]
+    )
+    assert text.startswith("### IPC")
+    assert "| mcf | 1.300 | 1.400 |" in text
+
+
+def test_experiment_section():
+    section = experiment_section("Figure 7", "IPC study.", ["|a|\n|---|"])
+    assert section.startswith("## Figure 7")
+    assert "IPC study." in section
+    assert "|a|" in section

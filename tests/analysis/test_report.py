@@ -1,0 +1,52 @@
+"""Report formatting helper tests."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_table,
+    geomean_row,
+    normalize_to,
+    percent_delta,
+)
+
+
+def test_normalize_to():
+    out = normalize_to({"a": 2.0, "b": 3.0, "c": 1.0}, "a")
+    assert out == {"a": 1.0, "b": 1.5, "c": 0.5}
+
+
+def test_normalize_zero_baseline_rejected():
+    with pytest.raises(ValueError):
+        normalize_to({"a": 0.0, "b": 1.0}, "a")
+
+
+def test_format_table_alignment():
+    table = format_table(
+        "Title", ["col", "value"], [["row1", 1.5], ["longer-row", 0.25]]
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+    assert "1.500" in table
+    assert "0.250" in table
+    # All data lines equal width per column (aligned).
+    assert len(lines[3].split()) == 2
+
+
+def test_format_table_custom_float_format():
+    table = format_table("T", ["x"], [[1.23456]], float_format="{:.1f}")
+    assert "1.2" in table
+
+
+def test_geomean_row():
+    series = [{"a": 2.0}, {"a": 8.0}]
+    row = geomean_row("gm", series, ["a"])
+    assert row[0] == "gm"
+    assert row[1] == pytest.approx(4.0)
+
+
+def test_percent_delta():
+    assert percent_delta(110.0, 100.0) == pytest.approx(10.0)
+    assert percent_delta(90.0, 100.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        percent_delta(1.0, 0.0)

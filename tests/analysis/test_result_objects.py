@@ -1,0 +1,91 @@
+"""Result-object tests using synthetic simulation outcomes (no sims)."""
+
+import pytest
+
+from repro.analysis.energy import EnergyBreakdown
+from repro.analysis.experiments import (
+    CacheSizeResult,
+    MixResult,
+    NonCacheableResult,
+    ReplacementResult,
+    SingleProgramResult,
+)
+from repro.cpu.multicore import CoreResult
+from repro.cpu.simulator import SimulationResult
+
+
+def fake_result(ipc=1.0, edp_energy=1.0, elapsed_ns=1e6, l3=80.0):
+    """A SimulationResult with chosen aggregates."""
+    core = CoreResult(core_id=0, workload="w", instructions=int(ipc * 1e6),
+                      cycles=1e6, stall_cycles=0.0)
+    energy = EnergyBreakdown(
+        core_j=edp_energy, ondie_dynamic_j=0, ondie_leakage_j=0,
+        tag_dynamic_j=0, tag_leakage_j=0, in_package_j=0, off_package_j=0,
+    )
+    return SimulationResult(
+        design_name="x", cores=[core], elapsed_ns=elapsed_ns,
+        mean_l3_latency_cycles=l3, energy=energy, stats={},
+    )
+
+
+def test_simulation_result_aggregates():
+    r = fake_result(ipc=2.0, edp_energy=3.0, elapsed_ns=2e6)
+    assert r.ipc_sum == pytest.approx(2.0)
+    assert r.total_energy_j == pytest.approx(3.0)
+    assert r.edp == pytest.approx(3.0 * 2e-3)
+    assert r.instructions == 2_000_000
+
+
+def test_single_program_result_normalisation():
+    results = {
+        ("p", "no-l3"): fake_result(ipc=1.0),
+        ("p", "tagless"): fake_result(ipc=1.5),
+    }
+    spr = SingleProgramResult(("p",), ("no-l3", "tagless"), results)
+    assert spr.normalized_ipc("p")["tagless"] == pytest.approx(1.5)
+    assert spr.geomean_ipc("tagless") == pytest.approx(1.5)
+
+
+def test_mix_result_tables_and_geomeans():
+    results = {
+        ("MIX1", "no-l3"): fake_result(ipc=1.0, edp_energy=4.0),
+        ("MIX1", "tagless"): fake_result(ipc=2.0, edp_energy=2.0),
+    }
+    mr = MixResult(("MIX1",), ("no-l3", "tagless"), results)
+    assert mr.normalized_ipc("MIX1")["tagless"] == pytest.approx(2.0)
+    assert mr.normalized_edp("MIX1")["tagless"] == pytest.approx(0.5)
+    assert "MIX1" in mr.ipc_table()
+    assert mr.geomean_edp("tagless") == pytest.approx(0.5)
+
+
+def test_cache_size_result():
+    results = {}
+    for size, ipcs in ((256, (1.0, 0.7, 0.6)), (1024, (1.0, 1.2, 1.3))):
+        for design, ipc in zip(("bi", "sram", "tagless"), ipcs):
+            results[(size, "MIX1", design)] = fake_result(ipc=ipc)
+    csr = CacheSizeResult((256, 1024), ("MIX1",), results)
+    assert csr.normalized_ipc(256, "MIX1")["tagless"] == pytest.approx(0.6)
+    assert csr.geomean_ipc(1024, "tagless") == pytest.approx(1.3)
+    assert "256MB" in csr.table()
+
+
+def test_replacement_result():
+    results = {
+        ("MIX1", "fifo"): fake_result(ipc=1.0),
+        ("MIX1", "lru"): fake_result(ipc=1.016),
+    }
+    rr = ReplacementResult(("MIX1",), results)
+    assert rr.lru_over_fifo("MIX1") == pytest.approx(1.016)
+    assert rr.mean_gain_percent() == pytest.approx(1.6, abs=0.01)
+    assert "LRU gain" in rr.table()
+
+
+def test_noncacheable_result():
+    ncr = NonCacheableResult(
+        baseline=fake_result(ipc=1.0),
+        with_nc=fake_result(ipc=1.071),
+        nc_pages=100,
+        threshold=32,
+    )
+    assert ncr.gain_percent() == pytest.approx(7.1, abs=0.01)
+    assert "Figure 13" in ncr.table()

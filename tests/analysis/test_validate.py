@@ -1,0 +1,31 @@
+"""Validation-harness tests (small but real runs)."""
+
+from repro.analysis.validate import ClaimResult, ValidationReport
+
+
+def test_report_rendering_and_verdict():
+    report = ValidationReport([
+        ClaimResult("a", "first", True, "x=1"),
+        ClaimResult("b", "second", False, "y=2"),
+    ])
+    assert not report.passed
+    table = report.table()
+    assert "PASS" in table and "FAIL" in table
+
+
+def test_all_pass_report():
+    report = ValidationReport([ClaimResult("a", "d", True, "e")])
+    assert report.passed
+
+
+def test_structural_claims_need_no_simulation():
+    """The GIPT-size and Table 6 claims are pure arithmetic: check them
+    directly (the behavioural claims run in bench_validation.py at
+    realistic trace lengths)."""
+    from repro.common.addressing import BYTES_PER_MB
+    from repro.common.config import tag_array_parameters
+    from repro.core.gipt import gipt_storage_megabytes
+
+    assert abs(gipt_storage_megabytes(1.0, 4) - 2.5625) < 0.01
+    assert [tag_array_parameters(mb * BYTES_PER_MB)[1]
+            for mb in (128, 256, 512, 1024)] == [5, 6, 9, 11]

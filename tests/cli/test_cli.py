@@ -1,0 +1,85 @@
+"""Command-line interface tests."""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.workloads.trace import load_trace
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_workloads_lists_catalogues(capsys):
+    code, out = run_cli(capsys, "workloads")
+    assert code == 0
+    assert "mcf" in out
+    assert "streamcluster" in out
+    assert "MIX5: mcf-soplex-GemsFDTD-lbm" in out
+
+
+def test_trace_generation_and_save(tmp_path, capsys):
+    out_path = str(tmp_path / "trace.npz")
+    code, out = run_cli(
+        capsys, "trace", "sphinx3", "--accesses", "2000", "--out", out_path
+    )
+    assert code == 0
+    assert "2000 accesses" in out
+    trace = load_trace(out_path)
+    assert len(trace) == 2000
+    assert trace.name == "sphinx3"
+
+
+def test_trace_unknown_workload(capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "not-a-program"])
+
+
+def test_run_single_program_json(capsys):
+    code, out = run_cli(
+        capsys, "run", "tagless", "sphinx3",
+        "--accesses", "3000", "--json",
+    )
+    assert code == 0
+    metrics = json.loads(out)
+    assert metrics["design"] == "tagless"
+    assert metrics["ipc"] > 0
+    assert len(metrics["per_core_ipc"]) == 1
+
+
+def test_run_mix_uses_four_cores(capsys):
+    code, out = run_cli(
+        capsys, "run", "no-l3", "MIX1", "--accesses", "1500", "--json",
+    )
+    metrics = json.loads(out)
+    assert len(metrics["per_core_ipc"]) == 4
+
+
+def test_run_human_readable(capsys):
+    code, out = run_cli(
+        capsys, "run", "sram", "sphinx3", "--accesses", "2000",
+    )
+    assert code == 0
+    assert "mean_l3_latency_cycles" in out
+
+
+def test_experiment_fig13_small(capsys):
+    code, out = run_cli(
+        capsys, "experiment", "fig13", "--accesses", "15000",
+    )
+    assert code == 0
+    assert "Figure 13" in out
+
+
+def test_parser_rejects_unknown_design():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "magic", "sphinx3"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,99 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+
+from repro.common.addressing import (
+    AddressSpace,
+    CACHE_LINE_BYTES,
+    LINES_PER_PAGE,
+    PAGE_BYTES,
+    address_of_line,
+    address_of_page,
+    line_index_in_page,
+    line_of_address,
+    lines_of_page,
+    page_of_address,
+    page_of_line,
+)
+
+
+def test_geometry_constants():
+    assert PAGE_BYTES == 4096
+    assert CACHE_LINE_BYTES == 64
+    assert LINES_PER_PAGE == 64
+
+
+def test_page_of_address_boundaries():
+    assert page_of_address(0) == 0
+    assert page_of_address(PAGE_BYTES - 1) == 0
+    assert page_of_address(PAGE_BYTES) == 1
+    assert page_of_address(10 * PAGE_BYTES + 17) == 10
+
+
+def test_line_of_address_boundaries():
+    assert line_of_address(0) == 0
+    assert line_of_address(63) == 0
+    assert line_of_address(64) == 1
+
+
+def test_line_index_in_page_wraps_within_page():
+    assert line_index_in_page(0) == 0
+    assert line_index_in_page(PAGE_BYTES - 1) == LINES_PER_PAGE - 1
+    assert line_index_in_page(PAGE_BYTES) == 0
+
+
+def test_address_page_round_trip():
+    for page in (0, 1, 7, 123456):
+        assert page_of_address(address_of_page(page)) == page
+
+
+def test_address_line_round_trip():
+    for line in (0, 1, 63, 64, 99999):
+        assert line_of_address(address_of_line(line)) == line
+
+
+def test_lines_of_page_covers_exactly_one_page():
+    lines = list(lines_of_page(5))
+    assert len(lines) == LINES_PER_PAGE
+    assert lines[0] == 5 * LINES_PER_PAGE
+    assert all(page_of_line(line) == 5 for line in lines)
+
+
+def test_page_of_line_inverse_of_lines_of_page():
+    assert page_of_line(0) == 0
+    assert page_of_line(LINES_PER_PAGE - 1) == 0
+    assert page_of_line(LINES_PER_PAGE) == 1
+
+
+class TestAddressSpace:
+    def test_contains_page(self):
+        space = AddressSpace(base_page=10, num_pages=5)
+        assert not space.contains_page(9)
+        assert space.contains_page(10)
+        assert space.contains_page(14)
+        assert not space.contains_page(15)
+
+    def test_contains_address(self):
+        space = AddressSpace(base_page=1, num_pages=1)
+        assert space.contains_address(PAGE_BYTES)
+        assert space.contains_address(2 * PAGE_BYTES - 1)
+        assert not space.contains_address(2 * PAGE_BYTES)
+
+    def test_offset_of_page(self):
+        space = AddressSpace(base_page=100, num_pages=10)
+        assert space.offset_of_page(100) == 0
+        assert space.offset_of_page(109) == 9
+
+    def test_offset_of_page_out_of_range_raises(self):
+        space = AddressSpace(base_page=100, num_pages=10)
+        with pytest.raises(ValueError):
+            space.offset_of_page(110)
+
+    def test_invalid_construction_raises(self):
+        with pytest.raises(ValueError):
+            AddressSpace(base_page=-1, num_pages=5)
+        with pytest.raises(ValueError):
+            AddressSpace(base_page=0, num_pages=0)
+
+    def test_num_bytes(self):
+        assert AddressSpace(0, 4).num_bytes == 4 * PAGE_BYTES

@@ -1,0 +1,176 @@
+"""Configuration presets must match the paper's Tables 3, 4 and 6."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.addressing import BYTES_PER_GB, BYTES_PER_MB
+from repro.common.config import (
+    DRAMCacheConfig,
+    OnDieCacheConfig,
+    SRAMTagConfig,
+    TLBConfig,
+    default_system,
+    tag_array_parameters,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestTable3:
+    """Architectural parameters of Table 3."""
+
+    def test_core(self):
+        cfg = default_system()
+        assert cfg.core.frequency_ghz == 3.0
+        assert cfg.num_cores == 4
+
+    def test_tlbs(self):
+        cfg = default_system()
+        assert cfg.tlb.l1_entries == 32
+        assert cfg.tlb.l2_entries == 512
+
+    def test_l1_cache(self):
+        cfg = default_system()
+        assert cfg.l1.capacity_bytes == 32 * 1024
+        assert cfg.l1.associativity == 4
+        assert cfg.l1.line_bytes == 64
+
+    def test_l2_cache(self):
+        cfg = default_system()
+        assert cfg.l2.capacity_bytes == 2 * BYTES_PER_MB
+        assert cfg.l2.associativity == 16
+        assert cfg.l2.hit_cycles == 6
+
+    def test_in_package_geometry(self):
+        d = default_system().in_package
+        assert d.channels == 1
+        assert d.ranks == 2
+        assert d.banks_per_rank == 16
+        assert d.bus_bytes == 16  # 128 bits
+        assert d.transfers_per_ns == pytest.approx(3.2)  # DDR 3.2 GT/s
+
+    def test_off_package_geometry(self):
+        d = default_system().off_package
+        assert d.channels == 1
+        assert d.ranks == 2
+        assert d.banks_per_rank == 64
+        assert d.bus_bytes == 8  # 64 bits
+        assert d.transfers_per_ns == pytest.approx(1.6)
+
+    def test_bandwidth_ratio_is_4x(self):
+        """The paper: in-package bandwidth is 4x off-package."""
+        cfg = default_system()
+        ratio = cfg.in_package.bytes_per_ns / cfg.off_package.bytes_per_ns
+        assert ratio == pytest.approx(4.0)
+
+
+class TestTable4:
+    """DRAM timing and energy parameters of Table 4."""
+
+    def test_in_package_timing(self):
+        d = default_system().in_package
+        assert (d.trcd_ns, d.taa_ns, d.tras_ns, d.trp_ns) == (8, 10, 22, 14)
+
+    def test_off_package_timing(self):
+        d = default_system().off_package
+        assert (d.trcd_ns, d.taa_ns, d.tras_ns, d.trp_ns) == (14, 14, 35, 14)
+
+    def test_in_package_energy(self):
+        e = default_system().in_package_energy
+        assert e.io_pj_per_bit == pytest.approx(2.4)
+        assert e.rw_pj_per_bit == pytest.approx(4.0)
+        assert e.act_pre_nj == pytest.approx(15.0)
+
+    def test_off_package_energy(self):
+        e = default_system().off_package_energy
+        assert e.io_pj_per_bit == pytest.approx(20.0)
+        assert e.rw_pj_per_bit == pytest.approx(13.0)
+        assert e.act_pre_nj == pytest.approx(15.0)
+
+    def test_access_energy_formula(self):
+        e = default_system().in_package_energy
+        # 64 bytes = 512 bits at (2.4 + 4.0) pJ/b = 3276.8 pJ = ~3.28 nJ.
+        assert e.access_nj(64) == pytest.approx(3.2768)
+        assert e.access_nj(64, activations=1) == pytest.approx(18.2768)
+
+
+class TestTable6:
+    """SRAM tag array size/latency as a function of cache size."""
+
+    @pytest.mark.parametrize(
+        "cache_mb,tag_mb,cycles",
+        [(128, 0.5, 5), (256, 1.0, 6), (512, 2.0, 9), (1024, 4.0, 11)],
+    )
+    def test_exact_table_entries(self, cache_mb, tag_mb, cycles):
+        got_mb, got_cycles = tag_array_parameters(cache_mb * BYTES_PER_MB)
+        assert got_mb == pytest.approx(tag_mb)
+        assert got_cycles == cycles
+
+    def test_interpolation_monotone(self):
+        sizes = [128, 192, 256, 384, 512, 768, 1024]
+        latencies = [
+            tag_array_parameters(mb * BYTES_PER_MB)[1] for mb in sizes
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_extrapolation_beyond_1gb_grows(self):
+        mb4, cyc4 = tag_array_parameters(4 * BYTES_PER_GB)
+        assert mb4 == pytest.approx(16.0)
+        assert cyc4 > 11
+
+    def test_sram_tag_config_properties(self):
+        cfg = SRAMTagConfig(cache_bytes=BYTES_PER_GB)
+        assert cfg.tag_megabytes == pytest.approx(4.0)
+        assert cfg.access_cycles == 11
+        assert cfg.probe_nj > 0
+        assert cfg.leakage_watts == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_tlb_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TLBConfig(l1_entries=64, l2_entries=32)
+
+    def test_bad_cache_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnDieCacheConfig(capacity_bytes=1000, associativity=3)
+
+    def test_bad_replacement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMCacheConfig(replacement="mru")
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMCacheConfig(alpha=0)
+
+
+class TestScaling:
+    def test_cache_pages_scale(self):
+        cfg = default_system(cache_megabytes=1024, capacity_scale=64)
+        assert cfg.cache_pages == 1024 * BYTES_PER_MB // (4096 * 64)
+
+    def test_scaled_ondie_keeps_geometry_valid(self):
+        cfg = default_system()
+        for scaled in (cfg.scaled_l1, cfg.scaled_l2):
+            assert scaled.capacity_bytes % (
+                scaled.line_bytes * scaled.associativity
+            ) == 0
+            assert scaled.num_sets >= 1
+
+    def test_scaled_tlb_never_below_l1(self):
+        cfg = dataclasses.replace(default_system(), tlb_scale=10_000)
+        assert cfg.scaled_tlb.l2_entries >= cfg.scaled_tlb.l1_entries
+
+    def test_with_cache_capacity(self):
+        cfg = default_system().with_cache_capacity(256 * BYTES_PER_MB)
+        assert cfg.dram_cache.nominal_capacity_bytes == 256 * BYTES_PER_MB
+
+    def test_with_replacement(self):
+        cfg = default_system().with_replacement("lru")
+        assert cfg.dram_cache.replacement == "lru"
+
+    def test_sram_tag_uses_nominal_capacity(self):
+        """Tag latency must reflect the real 1 GB array, not the scaled
+        simulation structure."""
+        cfg = default_system(cache_megabytes=1024, capacity_scale=64)
+        assert cfg.sram_tag.access_cycles == 11

@@ -1,0 +1,94 @@
+"""Unit and property tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import StatGroup, geometric_mean, merge_stat_dicts
+
+
+class TestStatGroup:
+    def test_add_and_get(self):
+        g = StatGroup("x")
+        g.add("hits")
+        g.add("hits", 2.5)
+        assert g["hits"] == pytest.approx(3.5)
+
+    def test_missing_key_is_zero(self):
+        assert StatGroup("x")["nothing"] == 0.0
+
+    def test_set_overwrites(self):
+        g = StatGroup("x")
+        g.add("gauge", 5)
+        g.set("gauge", 2)
+        assert g["gauge"] == 2
+
+    def test_ratio(self):
+        g = StatGroup("x")
+        g.add("hits", 3)
+        g.add("total", 4)
+        assert g.ratio("hits", "total") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        g = StatGroup("x")
+        g.add("hits", 3)
+        assert g.ratio("hits", "absent") == 0.0
+
+    def test_as_dict_with_prefix(self):
+        g = StatGroup("x")
+        g.add("a", 1)
+        assert g.as_dict("p_") == {"p_a": 1.0}
+
+    def test_merge(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.add("k", 1)
+        b.add("k", 2)
+        b.add("only_b", 5)
+        a.merge(b)
+        assert a["k"] == 3
+        assert a["only_b"] == 5
+
+    def test_reset(self):
+        g = StatGroup("x")
+        g.add("k", 9)
+        g.reset()
+        assert g["k"] == 0.0
+        assert "k" not in g
+
+
+class TestMergeStatDicts:
+    def test_merges_keywise(self):
+        merged = merge_stat_dicts([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert merged == {"a": 4.0, "b": 2.0}
+
+    def test_empty(self):
+        assert merge_stat_dicts([]) == {}
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_returns_zero(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1,
+                    max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1,
+                    max_size=20),
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_equivariance(self, values, k):
+        """gm(k * xs) == k * gm(xs): the property that makes geometric
+        means the right aggregate for normalised speedups."""
+        lhs = geometric_mean([k * v for v in values])
+        rhs = k * geometric_mean(values)
+        assert math.isclose(lhs, rhs, rel_tol=1e-9)

@@ -1,0 +1,42 @@
+"""Shared fixtures: small, fast machine configurations and traces."""
+
+import pytest
+
+from repro.common.config import default_system
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import spec_profile
+
+
+@pytest.fixture
+def small_config():
+    """A heavily scaled-down single-core machine for unit tests.
+
+    128 MB nominal cache at 1/512 scale -> 64 cache pages; tiny on-die
+    caches and a 16-entry L2 TLB (the cache must exceed total TLB reach
+    or the tagless design rightly refuses to run).  Everything still
+    uses the real code paths.
+    """
+    import dataclasses
+
+    cfg = default_system(cache_megabytes=128, num_cores=1,
+                         capacity_scale=512)
+    return dataclasses.replace(cfg, tlb_scale=32)
+
+
+@pytest.fixture
+def small_mp_config():
+    """Four-core version of the small machine (512 MB -> 256 pages,
+    comfortably above the 4 x 32-entry minimum TLB reach)."""
+    import dataclasses
+
+    cfg = default_system(cache_megabytes=512, num_cores=4,
+                         capacity_scale=512)
+    return dataclasses.replace(cfg, tlb_scale=32)
+
+
+@pytest.fixture
+def tiny_trace():
+    """A deterministic ~3k-access trace with a small footprint."""
+    profile = spec_profile("sphinx3")
+    generator = TraceGenerator(profile, capacity_scale=512)
+    return generator.generate(3000)

@@ -1,0 +1,131 @@
+"""Footprint partial-fill extension tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.addressing import LINES_PER_PAGE
+from repro.core.footprint import (
+    FULL_MASK,
+    FootprintHistoryTable,
+    mask_bit,
+    mask_bytes,
+)
+
+
+class TestMaskHelpers:
+    def test_full_mask_covers_page(self):
+        assert mask_bytes(FULL_MASK) == 4096
+
+    def test_mask_bit(self):
+        assert mask_bit(0) == 1
+        assert mask_bit(63) == 1 << 63
+
+    def test_mask_bytes_counts_blocks(self):
+        assert mask_bytes(0b1011) == 3 * 64
+
+
+class TestHistoryTable:
+    def test_unseen_page_fetches_everything_during_warmup(self):
+        table = FootprintHistoryTable()
+        assert table.predict(1, first_line=0) == FULL_MASK
+        assert table.full_fetches == 1
+
+    def test_refill_uses_recorded_mask_plus_trigger(self):
+        table = FootprintHistoryTable()
+        table.record(1, touched_mask=0b110)
+        mask = table.predict(1, first_line=5)
+        assert mask == 0b110 | mask_bit(5)
+
+    def test_empty_residency_records_minimal_footprint(self):
+        table = FootprintHistoryTable()
+        table.record(1, touched_mask=0)
+        assert table.predict(1, first_line=0) == mask_bit(0)
+
+    def test_global_density_kicks_in_after_warmup(self):
+        table = FootprintHistoryTable()
+        for page in range(table.WARMUP_RECORDS):
+            table.record(page + 1000, touched_mask=0b1111)  # 4 blocks
+        mask = table.predict(1, first_line=10)
+        assert mask != FULL_MASK
+        assert mask & mask_bit(10)
+        assert mask_bytes(mask) == 4 * 64  # the global average
+
+    def test_window_wraps_within_page(self):
+        table = FootprintHistoryTable()
+        for page in range(table.WARMUP_RECORDS):
+            table.record(page + 1000, touched_mask=0b11)  # 2 blocks
+        mask = table.predict(1, first_line=LINES_PER_PAGE - 1)
+        assert mask & mask_bit(LINES_PER_PAGE - 1)
+        assert mask & mask_bit(0)  # wrapped
+
+    def test_storage_accounting(self):
+        table = FootprintHistoryTable()
+        table.record(1, 0b1)
+        table.record(2, 0b1)
+        assert len(table) == 2
+        assert table.storage_bytes() == 16
+        stats = table.stats("f_")
+        assert stats["f_records"] == 2.0
+
+
+class TestEngineIntegration:
+    def make_config(self, small_config):
+        return dataclasses.replace(
+            small_config,
+            dram_cache=dataclasses.replace(
+                small_config.dram_cache, footprint_caching=True
+            ),
+        )
+
+    def test_footprint_miss_fetches_block_on_demand(self, small_config):
+        from repro.designs.tagless_design import TaglessDesign
+
+        design = TaglessDesign(self.make_config(small_config))
+        capacity = small_config.cache_pages
+        entries = small_config.scaled_tlb.l2_entries
+        # Touch a page on one line only, then churn it out of the cache
+        # so its recorded footprint is 1 block.
+        design.access(0, 0, 0, 3, False, 0.0)
+        now = 1000.0
+        for vpn in range(1, capacity + entries + 4):
+            design.access(0, 0, vpn, 0, False, now)
+            now += 2000.0
+        assert not design.page_table(0).entry(0).valid_in_cache
+        # Refill: only block 5 (trigger) + block 3 (history) transfer.
+        design.access(0, 0, 0, 5, False, now)
+        before = design.engine.footprint_misses
+        # Touching an unfetched block is a footprint miss.
+        design.access(0, 0, 0, 40, False, now + 1000.0)
+        assert design.engine.footprint_misses == before + 1
+        # And it is now resident: no second footprint miss.
+        design.ondie[0].invalidate_page(
+            design.page_table(0).entry(0).cache_page
+        )
+        design.access(0, 0, 0, 40, False, now + 2000.0)
+        assert design.engine.footprint_misses == before + 1
+        design.engine.check_invariants()
+
+    def test_partial_fill_charges_fewer_bytes(self, small_config):
+        from repro.designs.tagless_design import TaglessDesign
+
+        design = TaglessDesign(self.make_config(small_config))
+        capacity = small_config.cache_pages
+        entries = small_config.scaled_tlb.l2_entries
+        design.access(0, 0, 0, 3, False, 0.0)
+        now = 1000.0
+        for vpn in range(1, capacity + entries + 4):
+            design.access(0, 0, vpn, 0, False, now)
+            now += 2000.0
+        before = design.off_package.energy.read_bytes
+        design.access(0, 0, 0, 5, False, now)
+        fetched = design.off_package.energy.read_bytes - before
+        assert fetched < 4096  # partial fill, not the whole page
+
+    def test_disabled_by_default(self, small_config):
+        from repro.designs.tagless_design import TaglessDesign
+
+        design = TaglessDesign(small_config)
+        assert design.engine.footprint is None
+        design.access(0, 0, 0, 3, False, 0.0)
+        assert design.engine.ensure_line_fetched(0, 63, 0.0) == 0.0

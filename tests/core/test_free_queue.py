@@ -1,0 +1,71 @@
+"""Free queue / header pointer tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.free_queue import FreeQueue
+
+
+def test_header_pointer_walks_addresses_in_order():
+    fq = FreeQueue(capacity_pages=4, alpha=1)
+    assert fq.header_pointer == 0
+    assert [fq.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+
+def test_allocation_exhaustion_is_a_bug():
+    fq = FreeQueue(capacity_pages=2, alpha=1)
+    fq.allocate()
+    fq.allocate()
+    with pytest.raises(SimulationError):
+        fq.allocate()
+
+
+def test_needs_eviction_below_alpha():
+    fq = FreeQueue(capacity_pages=4, alpha=2)
+    fq.allocate()
+    assert not fq.needs_eviction()  # 3 free >= alpha 2
+    fq.allocate()
+    fq.allocate()
+    assert fq.needs_eviction()  # 1 free < alpha 2
+
+
+def test_eviction_cycle_returns_block_to_pool():
+    fq = FreeQueue(capacity_pages=2, alpha=1)
+    a = fq.allocate()
+    fq.allocate()
+    assert fq.free_blocks == 0
+    fq.enqueue_eviction(a)
+    assert fq.pending_evictions == 1
+    assert fq.pop_pending() == a
+    fq.mark_free(a)
+    assert fq.free_blocks == 1
+    assert fq.header_pointer == a  # recycled block is next to allocate
+
+
+def test_pop_pending_empty_returns_none():
+    fq = FreeQueue(capacity_pages=2, alpha=1)
+    assert fq.pop_pending() is None
+
+
+def test_mark_free_out_of_range_is_a_bug():
+    fq = FreeQueue(capacity_pages=2, alpha=1)
+    with pytest.raises(SimulationError):
+        fq.mark_free(5)
+
+
+def test_alpha_must_leave_room():
+    with pytest.raises(ValueError):
+        FreeQueue(capacity_pages=2, alpha=2)
+    with pytest.raises(ValueError):
+        FreeQueue(capacity_pages=4, alpha=0)
+
+
+def test_stats():
+    fq = FreeQueue(capacity_pages=4, alpha=1)
+    fq.allocate()
+    fq.enqueue_eviction(0)
+    stats = fq.stats("f_")
+    assert stats["f_allocations"] == 1.0
+    assert stats["f_evictions_enqueued"] == 1.0
+    assert stats["f_free_blocks"] == 3.0
+    assert stats["f_pending"] == 1.0

@@ -1,0 +1,122 @@
+"""Victim-selection policy tests (FIFO with TLB-skip, LRU)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.core.policies import (
+    FIFOVictimTracker,
+    LRUVictimTracker,
+    make_victim_tracker,
+)
+
+
+def never(_):
+    return False
+
+
+class TestFIFO:
+    def test_selects_in_fill_order(self):
+        t = FIFOVictimTracker()
+        for ca in (3, 1, 2):
+            t.on_fill(ca)
+        assert t.select(never) == 3
+        assert t.select(never) == 1
+
+    def test_touch_is_ignored(self):
+        t = FIFOVictimTracker()
+        t.on_fill(1)
+        t.on_fill(2)
+        t.on_touch(1)
+        assert t.select(never) == 1
+
+    def test_protected_pages_skipped(self):
+        t = FIFOVictimTracker()
+        for ca in (1, 2, 3):
+            t.on_fill(ca)
+        assert t.select(lambda ca: ca == 1) == 2
+        assert t.skips == 1
+
+    def test_all_protected_returns_none(self):
+        t = FIFOVictimTracker()
+        t.on_fill(1)
+        assert t.select(lambda ca: True) is None
+
+    def test_lazy_deletion_of_evicted(self):
+        t = FIFOVictimTracker()
+        t.on_fill(1)
+        t.on_fill(2)
+        t.on_evicted(1)
+        assert len(t) == 1
+        assert t.select(never) == 2
+
+    def test_refill_after_eviction(self):
+        t = FIFOVictimTracker()
+        t.on_fill(1)
+        t.on_evicted(1)
+        t.on_fill(1)
+        assert t.select(never) == 1
+
+
+class TestLRU:
+    def test_selects_least_recent(self):
+        t = LRUVictimTracker()
+        for ca in (1, 2, 3):
+            t.on_fill(ca)
+        t.on_touch(1)
+        assert t.select(never) == 2
+
+    def test_protected_pages_skipped(self):
+        t = LRUVictimTracker()
+        for ca in (1, 2):
+            t.on_fill(ca)
+        assert t.select(lambda ca: ca == 1) == 2
+
+    def test_all_protected_returns_none(self):
+        t = LRUVictimTracker()
+        t.on_fill(1)
+        assert t.select(lambda ca: True) is None
+
+    def test_evicted_disappears(self):
+        t = LRUVictimTracker()
+        t.on_fill(1)
+        t.on_evicted(1)
+        assert len(t) == 0
+        assert t.select(never) is None
+
+
+def test_factory():
+    assert isinstance(make_victim_tracker("fifo"), FIFOVictimTracker)
+    assert isinstance(make_victim_tracker("lru"), LRUVictimTracker)
+    with pytest.raises(SimulationError):
+        make_victim_tracker("optimal")
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.sampled_from(["fill", "touch", "evict"]),
+                          st.integers(0, 9)), max_size=80),
+       st.sampled_from(["fifo", "lru"]))
+def test_tracker_never_selects_nonresident_or_protected(ops, policy):
+    """Property: a selected victim is always a live, unprotected page,
+    and select() removes it from the tracker."""
+    tracker = make_victim_tracker(policy)
+    live = set()
+    for op, ca in ops:
+        if op == "fill" and ca not in live:
+            tracker.on_fill(ca)
+            live.add(ca)
+        elif op == "touch" and ca in live:
+            tracker.on_touch(ca)
+        elif op == "evict" and ca in live:
+            tracker.on_evicted(ca)
+            live.discard(ca)
+    protected = {ca for ca in live if ca % 2 == 0}
+    victim = tracker.select(lambda ca: ca in protected)
+    if victim is not None:
+        assert victim in live
+        assert victim not in protected
+        # A second select never returns the same page again.
+        second = tracker.select(lambda ca: ca in protected)
+        assert second != victim
+    else:
+        assert live <= protected

@@ -1,0 +1,74 @@
+"""AccessCost semantics: what each field promises the simulator."""
+
+import pytest
+
+from repro.designs import create_design
+
+
+def test_l1_hit_cost_is_hit_cycles(small_config):
+    design = create_design("no-l3", small_config)
+    design.access(0, 0, 1, 0, False, 0.0)
+    cost = design.access(0, 0, 1, 0, False, 100.0)
+    assert cost.ondie_level == "l1"
+    assert not cost.l3_involved
+    assert cost.l3_cycles == 0.0
+    assert cost.cycles == pytest.approx(small_config.core.l1_hit_cycles)
+
+
+def test_l3_cycles_include_tlb_penalty(small_config):
+    """Figure 8's metric counts TLB time (Section 5.1: "including TLB
+    access time"): a first touch's l3_cycles carry the walk."""
+    design = create_design("no-l3", small_config)
+    cost = design.access(0, 0, 1, 0, False, 0.0)
+    assert cost.l3_involved
+    assert cost.tlb_level == "miss"
+    assert cost.l3_cycles >= small_config.scaled_tlb.walk_cycles
+    assert cost.l3_cycles == pytest.approx(cost.cycles)
+
+
+def test_mean_l3_latency_averages_only_l3_accesses(small_config):
+    design = create_design("no-l3", small_config)
+    first = design.access(0, 0, 1, 0, False, 0.0)
+    design.access(0, 0, 1, 0, False, 100.0)  # L1 hit: not counted
+    assert design.l3_accesses == 1
+    assert design.mean_l3_latency_cycles() == pytest.approx(
+        first.l3_cycles
+    )
+
+
+def test_l2_tlb_hit_penalty_counted():
+    # A config whose L2 TLB is genuinely larger than its L1 TLB (the
+    # small_config fixture clamps both to 32 entries, so an L2-only hit
+    # cannot occur there).
+    import dataclasses
+
+    from repro.common.config import default_system
+
+    config = dataclasses.replace(
+        default_system(cache_megabytes=128, num_cores=1,
+                       capacity_scale=512),
+        tlb_scale=8,  # L2 TLB: 64 entries vs the 32-entry L1
+    )
+    design = create_design("no-l3", config)
+    l1_entries = config.scaled_tlb.l1_entries
+    for vpn in range(l1_entries + 2):
+        design.access(0, 0, vpn, 0, False, vpn * 100.0)
+    cost = design.access(0, 0, 0, 1, False, 10**6)
+    assert cost.tlb_level == "l2"
+    assert cost.cycles >= config.scaled_tlb.l2_hit_cycles
+
+
+def test_tagless_cost_never_below_sram_savings(small_config):
+    """Steady-state L3 hit: tagless saves exactly the tag latency."""
+    sram = create_design("sram", small_config)
+    tagless = create_design("tagless", small_config)
+    for design in (sram, tagless):
+        design.access(0, 0, 1, 0, False, 0.0)  # fill
+        # Evict the line from on-die so the next access reaches L3.
+        target = design.tlbs[0].l1.peek(1).target_page
+        design.ondie[0].invalidate_page(target)
+    sram_cost = sram.access(0, 0, 1, 0, False, 10**6).cycles
+    tagless_cost = tagless.access(0, 0, 1, 0, False, 10**6).cycles
+    assert sram_cost - tagless_cost == pytest.approx(
+        sram.tags.access_cycles, abs=2.0
+    )

@@ -1,0 +1,111 @@
+"""No-L3, BI and Ideal design behaviour."""
+
+import pytest
+
+from repro.designs import create_design
+
+
+def run_accesses(design, n=200, footprint=30, core_id=0, process_id=0):
+    now = 0.0
+    total = 0.0
+    for i in range(n):
+        cost = design.access(
+            core_id, process_id, virtual_page=(i * 3) % footprint,
+            line_index=i % 64, is_write=(i % 4 == 0), now_ns=now,
+        )
+        total += cost.cycles
+        now += 2.0 + cost.cycles / 3.0
+    return total / n
+
+
+class TestNoL3:
+    def test_l2_misses_go_off_package(self, small_config):
+        design = create_design("no-l3", small_config)
+        run_accesses(design)
+        assert design.off_package.demand_accesses > 0
+        assert design.in_package.demand_accesses == 0
+
+    def test_l3_latency_counts_only_l2_misses(self, small_config):
+        design = create_design("no-l3", small_config)
+        run_accesses(design)
+        assert 0 < design.l3_accesses <= design.accesses
+        assert design.mean_l3_latency_cycles() > 0
+
+
+class TestIdeal:
+    def test_everything_in_package(self, small_config):
+        design = create_design("ideal", small_config)
+        run_accesses(design)
+        assert design.in_package.demand_accesses > 0
+        assert design.off_package.demand_accesses == 0
+
+    def test_faster_than_no_l3(self, small_config):
+        ideal = create_design("ideal", small_config)
+        no_l3 = create_design("no-l3", small_config)
+        assert run_accesses(ideal) < run_accesses(no_l3)
+
+
+class TestBankInterleaving:
+    def test_traffic_splits_by_frame_placement(self, small_config):
+        design = create_design("bi", small_config)
+        run_accesses(design, n=500, footprint=100)
+        assert design.in_package.demand_accesses > 0
+        assert design.off_package.demand_accesses > 0
+        # Off-package dominates: it is 8x-ish larger.
+        assert (design.off_package.demand_accesses
+                > design.in_package.demand_accesses)
+
+    def test_placement_is_stable_per_page(self, small_config):
+        design = create_design("bi", small_config)
+        pte = design.page_table(0).entry(5)
+        assert design.is_in_package(pte.physical_page) in (True, False)
+        # Same page, same placement, always.
+        again = design.page_table(0).entry(5)
+        assert again.physical_page == pte.physical_page
+
+    def test_between_no_l3_and_ideal(self, small_config):
+        bi = run_accesses(create_design("bi", small_config), n=600,
+                          footprint=120)
+        no_l3 = run_accesses(create_design("no-l3", small_config), n=600,
+                             footprint=120)
+        ideal = run_accesses(create_design("ideal", small_config), n=600,
+                             footprint=120)
+        assert ideal < bi < no_l3
+
+
+class TestCommonPath:
+    def test_tlb_levels_reported(self, small_config):
+        design = create_design("no-l3", small_config)
+        first = design.access(0, 0, 1, 0, False, 0.0)
+        assert first.tlb_level == "miss"
+        second = design.access(0, 0, 1, 1, False, 10.0)
+        assert second.tlb_level == "l1"
+
+    def test_ondie_levels_reported(self, small_config):
+        design = create_design("no-l3", small_config)
+        assert design.access(0, 0, 1, 0, False, 0.0).ondie_level == "miss"
+        assert design.access(0, 0, 1, 0, False, 10.0).ondie_level == "l1"
+
+    def test_bad_line_index_rejected(self, small_config):
+        from repro.common.errors import SimulationError
+        design = create_design("no-l3", small_config)
+        with pytest.raises(SimulationError):
+            design.access(0, 0, 1, 64, False, 0.0)
+
+    def test_reset_stats_zeroes_counters_keeps_warmth(self, small_config):
+        design = create_design("no-l3", small_config)
+        run_accesses(design, n=100)
+        design.reset_stats()
+        assert design.accesses == 0
+        assert design.l3_accesses == 0
+        # TLB and caches stay warm.
+        cost = design.access(0, 0, 0, 0, False, 0.0)
+        assert cost.tlb_level != "miss" or cost.ondie_level != "miss"
+
+    def test_stats_keys_exist(self, small_config):
+        design = create_design("no-l3", small_config)
+        run_accesses(design, n=50)
+        stats = design.stats()
+        assert stats["accesses"] == 50.0
+        assert "core0_tlb_misses" in stats
+        assert "offpkg_demand_accesses" in stats

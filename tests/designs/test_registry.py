@@ -1,0 +1,40 @@
+"""Design registry tests."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.designs import DESIGN_NAMES, create_design
+from repro.designs.bank_interleave import BankInterleavingDesign
+from repro.designs.ideal import IdealDesign
+from repro.designs.no_l3 import NoL3Design
+from repro.designs.sram_tag import SRAMTagDesign
+from repro.designs.tagless_design import TaglessDesign
+
+
+def test_design_names_match_paper_order():
+    assert DESIGN_NAMES == ("no-l3", "bi", "sram", "tagless", "ideal")
+
+
+@pytest.mark.parametrize("name,cls", [
+    ("no-l3", NoL3Design),
+    ("bi", BankInterleavingDesign),
+    ("sram", SRAMTagDesign),
+    ("tagless", TaglessDesign),
+    ("ideal", IdealDesign),
+])
+def test_factory_builds_each_design(small_config, name, cls):
+    design = create_design(name, small_config)
+    assert isinstance(design, cls)
+    assert design.name == name
+
+
+def test_alloy_extension_registered(small_config):
+    from repro.designs.alloy import AlloyCacheDesign
+
+    assert isinstance(create_design("alloy", small_config),
+                      AlloyCacheDesign)
+
+
+def test_unknown_design_rejected(small_config):
+    with pytest.raises(ConfigurationError):
+        create_design("footprint", small_config)

@@ -1,0 +1,75 @@
+"""Dirty on-die victims must drain to the right device per design."""
+
+import pytest
+
+from repro.common.addressing import LINES_PER_PAGE
+from repro.designs import create_design
+from repro.designs.base import PA_NAMESPACE_OFFSET
+
+
+def test_no_l3_writebacks_go_off_package(small_config):
+    design = create_design("no-l3", small_config)
+    before = design.off_package.energy.write_bytes
+    design._writeback_line(1234 * LINES_PER_PAGE + 5, now_ns=0.0)
+    assert design.off_package.energy.write_bytes == before + 64
+    assert design.in_package.energy.write_bytes == 0
+
+
+def test_ideal_writebacks_stay_in_package(small_config):
+    design = create_design("ideal", small_config)
+    design._writeback_line(1234 * LINES_PER_PAGE, now_ns=0.0)
+    assert design.in_package.energy.write_bytes == 64
+    assert design.off_package.energy.write_bytes == 0
+
+
+def test_bi_writebacks_follow_frame_placement(small_config):
+    design = create_design("bi", small_config)
+    in_page = 0  # inside the in-package slice
+    off_page = design.in_package_pages + 7
+    design._writeback_line(in_page * LINES_PER_PAGE, 0.0)
+    assert design.in_package.energy.write_bytes == 64
+    design._writeback_line(off_page * LINES_PER_PAGE, 0.0)
+    assert design.off_package.energy.write_bytes == 64
+
+
+def test_sram_writebacks_land_in_cache_when_page_cached(small_config):
+    design = create_design("sram", small_config)
+    design.access(0, 0, 1, 0, True, 0.0)  # fills the page, cached now
+    ppn = design.page_table(0).entry(1).physical_page
+    before = design.in_package.energy.write_bytes
+    design._writeback_line(ppn * LINES_PER_PAGE + 3, 10_000.0)
+    assert design.in_package.energy.write_bytes == before + 64
+
+
+def test_sram_writebacks_go_home_when_page_not_cached(small_config):
+    design = create_design("sram", small_config)
+    before = design.off_package.energy.write_bytes
+    design._writeback_line(4321 * LINES_PER_PAGE, 0.0)
+    assert design.off_package.energy.write_bytes == before + 64
+
+
+def test_tagless_routes_by_namespace(small_config):
+    design = create_design("tagless", small_config)
+    design.access(0, 0, 1, 0, True, 0.0)
+    ca = design.page_table(0).entry(1).cache_page
+    # CA-space line: in-package, and the page turns dirty.
+    in_before = design.in_package.energy.write_bytes
+    design._writeback_line(ca * LINES_PER_PAGE + 2, 10_000.0)
+    assert design.in_package.energy.write_bytes == in_before + 64
+    assert design.engine.gipt.require(ca).dirty
+    # PA-namespace line (an NC page's): off-package.
+    off_before = design.off_package.energy.write_bytes
+    design._writeback_line(PA_NAMESPACE_OFFSET + 99 * LINES_PER_PAGE, 0.0)
+    assert design.off_package.energy.write_bytes == off_before + 64
+
+
+def test_writebacks_are_asynchronous(small_config):
+    """No design charges demand latency for a write-back."""
+    for name in ("no-l3", "bi", "sram", "tagless", "ideal"):
+        design = create_design(name, small_config)
+        demand_before = (design.in_package.demand_accesses
+                         + design.off_package.demand_accesses)
+        design._writeback_line(50 * LINES_PER_PAGE, 0.0)
+        demand_after = (design.in_package.demand_accesses
+                        + design.off_package.demand_accesses)
+        assert demand_after == demand_before, name

@@ -1,0 +1,119 @@
+"""DRAM device facade: latency composition, energy and accounting."""
+
+import pytest
+
+from repro.common.addressing import PAGE_BYTES
+from repro.common.config import default_system
+from repro.dram.device import DRAMDevice
+
+
+@pytest.fixture
+def off_pkg():
+    cfg = default_system()
+    return DRAMDevice(cfg.off_package, cfg.off_package_energy)
+
+
+@pytest.fixture
+def in_pkg():
+    cfg = default_system()
+    return DRAMDevice(cfg.in_package, cfg.in_package_energy)
+
+
+def test_block_access_closed_page_latency(off_pkg):
+    t = off_pkg.timing
+    expected = t.row_empty_ns(64) + t.controller_ns
+    assert off_pkg.access_block(0.0, 5) == pytest.approx(expected)
+
+
+def test_block_access_open_page_uses_row_state(off_pkg):
+    first = off_pkg.access_block(0.0, 5, open_page=True)
+    # Issue at a time the channel is free again to isolate service time.
+    second = off_pkg.access_block(1000.0, 5, open_page=True)
+    assert second < first  # row hit after activation
+
+
+def test_in_package_faster_than_off_package(in_pkg, off_pkg):
+    assert in_pkg.access_block(0.0, 1) < off_pkg.access_block(0.0, 1)
+
+
+def test_fill_page_critical_block_first(off_pkg):
+    t = off_pkg.timing
+    latency = off_pkg.fill_page(0.0, 3)
+    # Core waits ~ a block access, far less than the full page stream.
+    assert latency == pytest.approx(t.row_empty_ns(64) + t.controller_ns)
+    assert latency < t.transfer_ns(PAGE_BYTES)
+    # But the channel is reserved for the whole page.
+    assert off_pkg.channels.free_at(0) == pytest.approx(
+        t.transfer_ns(PAGE_BYTES)
+    )
+
+
+def test_fill_page_charges_full_page_energy(off_pkg):
+    off_pkg.fill_page(0.0, 3)
+    assert off_pkg.energy.read_bytes == PAGE_BYTES
+    assert off_pkg.energy.activations == 1
+
+
+def test_stream_page_async_zero_latency_but_occupies(in_pkg):
+    latency = in_pkg.stream_page(0.0, 2, is_write=True, asynchronous=True)
+    assert latency == 0.0
+    assert in_pkg.channels.background_until(0) > 0.0
+    assert in_pkg.channels.background_busy_ns > 0.0
+    assert in_pkg.energy.write_bytes == PAGE_BYTES
+    assert in_pkg.demand_accesses == 0
+
+
+def test_stream_page_sync_waits_for_whole_page(in_pkg):
+    latency = in_pkg.stream_page(0.0, 2)
+    assert latency >= in_pkg.timing.row_empty_ns(PAGE_BYTES)
+
+
+def test_posted_write_returns_service_only(off_pkg):
+    # Saturate the channel first; a posted write must not report queue.
+    off_pkg.fill_page(0.0, 1)
+    service = off_pkg.posted_write_block(1.0, 1)
+    assert service < 100.0  # no 320 ns page-stream wait folded in
+    assert off_pkg.energy.write_bytes == 64
+
+
+def test_demand_accounting(off_pkg):
+    off_pkg.access_block(0.0, 1)
+    off_pkg.access_block(0.0, 2)
+    assert off_pkg.demand_accesses == 2
+    assert off_pkg.mean_demand_latency_ns() > 0
+
+
+def test_queue_included_in_latency(off_pkg):
+    first = off_pkg.fill_page(0.0, 1)
+    second = off_pkg.access_block(0.0, 2)
+    # The second access queues behind the 4 KB stream.
+    assert second > first
+
+
+def test_stats_keys(off_pkg):
+    off_pkg.access_block(0.0, 1)
+    stats = off_pkg.stats("off_")
+    assert stats["off_demand_accesses"] == 1.0
+    assert "off_dynamic_nj" in stats
+    assert "off_queue_ns_total" in stats
+
+
+def test_reset_stats_keeps_rows_clears_counters(off_pkg):
+    off_pkg.access_block(0.0, 1, open_page=True)
+    off_pkg.reset_stats()
+    assert off_pkg.demand_accesses == 0
+    assert off_pkg.channels.free_at(0) == 0.0
+    # Row stays open: the next open-page access row-hits.
+    latency = off_pkg.access_block(0.0, 1, open_page=True)
+    assert latency == pytest.approx(
+        off_pkg.timing.row_hit_ns(64) + off_pkg.timing.controller_ns
+    )
+
+
+def test_full_reset_clears_rows(off_pkg):
+    off_pkg.access_block(0.0, 1, open_page=True)
+    off_pkg.reset()
+    latency = off_pkg.access_block(0.0, 1, open_page=True)
+    assert latency == pytest.approx(
+        off_pkg.timing.row_empty_ns(64) + off_pkg.timing.controller_ns
+    )

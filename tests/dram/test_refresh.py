@@ -1,0 +1,73 @@
+"""DRAM refresh (tREFI/tRFC) model tests."""
+
+import pytest
+
+from repro.common.config import default_system
+from repro.dram.device import DRAMDevice
+
+
+@pytest.fixture
+def device():
+    cfg = default_system()
+    return DRAMDevice(cfg.off_package, cfg.off_package_energy)
+
+
+def test_no_refresh_before_first_trefi(device):
+    device.access_block(10.0, 1)
+    assert device.refreshes == 0
+
+
+def test_refresh_issued_at_trefi(device):
+    trefi = device.timing.trefi_ns
+    device.access_block(trefi + 1.0, 1)
+    assert device.refreshes == 1
+
+
+def test_catch_up_over_long_idle(device):
+    trefi = device.timing.trefi_ns
+    device.access_block(10.5 * trefi, 1)
+    assert device.refreshes == 10
+
+
+def test_refresh_blocks_demand(device):
+    """An access issued right at a refresh boundary waits out tRFC."""
+    trefi = device.timing.trefi_ns
+    latency = device.access_block(trefi + 1.0, 1)
+    baseline = device.timing.row_empty_ns(64) + device.timing.controller_ns
+    assert latency > baseline  # queued behind the refresh
+    assert latency >= device.timing.trfc_ns * 0.5
+
+
+def test_refresh_schedule_monotone(device):
+    trefi = device.timing.trefi_ns
+    device.access_block(trefi + 1.0, 1)
+    # Going "back in time" (another core slightly behind) never double
+    # issues or crashes.
+    device.access_block(trefi - 100.0, 2)
+    assert device.refreshes == 1
+
+
+def test_reset_restarts_schedule(device):
+    trefi = device.timing.trefi_ns
+    device.access_block(trefi + 1.0, 1)
+    device.reset_stats()
+    assert device.refreshes == 0
+    device.access_block(1.0, 1)
+    assert device.refreshes == 0  # schedule restarted with the clock
+
+
+def test_in_package_has_shorter_trfc():
+    cfg = default_system()
+    assert cfg.in_package.trfc_ns < cfg.off_package.trfc_ns
+
+
+def test_refresh_overhead_is_bounded(device):
+    """Refresh consumes ~tRFC/tREFI of the channel (about 4.5 %), so a
+    steady access stream sees only a small average penalty."""
+    total = 0.0
+    n = 200
+    for i in range(n):
+        now = i * 100.0  # one access per 100 ns
+        total += device.access_block(now, i)
+    baseline = device.timing.row_empty_ns(64) + device.timing.controller_ns
+    assert total / n < baseline * 1.6

@@ -1,0 +1,113 @@
+"""Cross-module integration tests: whole-stack simulations.
+
+These run short but complete simulations through the public API and
+assert the qualitative relationships the paper's evaluation rests on.
+"""
+
+import pytest
+
+from repro import BoundTrace, DESIGN_NAMES, Simulator, default_system
+from repro.workloads import TraceGenerator, spec_profile
+from repro.workloads.parsec import parsec_thread_traces
+
+
+@pytest.fixture(scope="module")
+def friendly_results():
+    """All five designs on a cache-friendly workload (module-cached)."""
+    config = default_system(cache_megabytes=1024, num_cores=1,
+                            capacity_scale=64)
+    trace = TraceGenerator(
+        spec_profile("sphinx3"), capacity_scale=64
+    ).generate(30_000)
+    sim = Simulator(config)
+    return {
+        name: sim.run(name, [BoundTrace(0, 0, trace)])
+        for name in DESIGN_NAMES
+    }
+
+
+def test_design_ordering_on_friendly_workload(friendly_results):
+    """no-l3 <= bi <= sram <= tagless <= ideal on IPC (Figure 7 shape)."""
+    ipc = {name: r.ipc_sum for name, r in friendly_results.items()}
+    assert ipc["no-l3"] < ipc["bi"] < ipc["sram"]
+    assert ipc["sram"] < ipc["tagless"] <= ipc["ideal"] * 1.001
+
+
+def test_tagless_l3_latency_beats_sram(friendly_results):
+    """Figure 8's shape: no tag check -> lower average L3 latency."""
+    assert (friendly_results["tagless"].mean_l3_latency_cycles
+            < friendly_results["sram"].mean_l3_latency_cycles)
+
+
+def test_tagless_edp_beats_sram(friendly_results):
+    assert friendly_results["tagless"].edp < friendly_results["sram"].edp
+
+
+def test_all_cores_finish_all_instructions(friendly_results):
+    counts = {r.instructions for r in friendly_results.values()}
+    assert len(counts) == 1  # same trace -> same instruction count
+
+
+def test_tagless_invariants_after_multiprogrammed_run():
+    config = default_system(cache_megabytes=256, num_cores=4,
+                            capacity_scale=64)
+    sim = Simulator(config)
+    bindings = []
+    for core, prog in enumerate(("milc", "sphinx3", "soplex", "omnetpp")):
+        trace = TraceGenerator(
+            spec_profile(prog), capacity_scale=64, seed_tag=core
+        ).generate(8_000)
+        bindings.append(BoundTrace(core, core, trace))
+    result = sim.run("tagless", bindings)
+    assert result.ipc_sum > 0
+    design = sim.build_design("tagless")  # fresh instance for invariants
+    # Re-run on the same design instance to inspect its state directly.
+    from repro.cpu.multicore import run_interleaved
+    run_interleaved(design, bindings)
+    design.engine.check_invariants()
+    # Occupancy never exceeds 1 and residence bits stayed consistent.
+    assert 0.0 <= design.engine.occupancy() <= 1.0
+
+
+def test_multithreaded_shared_address_space():
+    config = default_system(cache_megabytes=1024, num_cores=4,
+                            capacity_scale=64)
+    traces = parsec_thread_traces("streamcluster", num_threads=4,
+                                  accesses_per_thread=6_000,
+                                  capacity_scale=64)
+    bindings = [BoundTrace(i, 0, t) for i, t in enumerate(traces)]
+    result = Simulator(config).run("tagless", bindings)
+    assert len(result.cores) == 4
+    # Shared hot pages: total distinct fills is far below the sum of
+    # per-thread footprints (threads share the cache contents).
+    fills = result.stats["engine_fills"]
+    footprints = sum(t.footprint_pages for t in traces)
+    assert fills < footprints
+
+
+def test_capacity_pressure_hurts_caches():
+    """Figure 10's shape: a small DRAM cache underperforms its large
+    sibling on the same workload."""
+    trace = TraceGenerator(
+        spec_profile("GemsFDTD"), capacity_scale=64
+    ).generate(25_000)
+    bindings = [BoundTrace(0, 0, trace)]
+    small = Simulator(
+        default_system(cache_megabytes=128, num_cores=1, capacity_scale=64)
+    ).run("tagless", bindings)
+    large = Simulator(
+        default_system(cache_megabytes=1024, num_cores=1, capacity_scale=64)
+    ).run("tagless", bindings)
+    assert large.ipc_sum > small.ipc_sum
+
+
+def test_replacement_policies_both_run():
+    trace = TraceGenerator(
+        spec_profile("milc"), capacity_scale=64
+    ).generate(10_000)
+    bindings = [BoundTrace(0, 0, trace)]
+    for policy in ("fifo", "lru"):
+        config = default_system(cache_megabytes=256, num_cores=1,
+                                replacement=policy, capacity_scale=64)
+        result = Simulator(config).run("tagless", bindings)
+        assert result.ipc_sum > 0

@@ -1,0 +1,110 @@
+"""Cross-cutting property tests over the full design stack."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.addressing import PAGE_BYTES
+from repro.designs.tagless_design import TaglessDesign
+from repro.designs.sram_tag import SRAMTagDesign
+from repro.common.config import default_system
+
+
+def small_cfg():
+    cfg = default_system(cache_megabytes=128, num_cores=1,
+                         capacity_scale=512)
+    return dataclasses.replace(cfg, tlb_scale=32)
+
+
+ACCESS = st.tuples(
+    st.integers(0, 40),      # virtual page
+    st.integers(0, 63),      # line
+    st.booleans(),           # write
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(ACCESS, min_size=1, max_size=150))
+def test_tagless_invariants_hold_for_any_access_sequence(accesses):
+    """For any single-core access sequence:
+
+    - the engine's block accounting and GIPT/PTE agreement hold;
+    - a cTLB hit never produces off-package demand traffic;
+    - occupancy stays within [0, 1].
+    """
+    design = TaglessDesign(small_cfg())
+    now = 0.0
+    for vpn, line, write in accesses:
+        before_off = design.off_package.demand_accesses
+        cost = design.access(0, 0, vpn, line, write, now)
+        if cost.tlb_level in ("l1", "l2"):
+            assert design.off_package.demand_accesses == before_off
+        now += 30.0 + cost.cycles / 3.0
+    design.engine.check_invariants()
+    assert 0.0 <= design.engine.occupancy() <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(ACCESS, min_size=1, max_size=150))
+def test_energy_accounting_conserves_bytes(accesses):
+    """Bytes billed to the DRAM devices can only come from fills,
+    write-backs, demand blocks, footprint fetches, GIPT and PTE traffic
+    -- all multiples of 8 bytes, and reads never exceed what the access
+    sequence could have demanded."""
+    design = TaglessDesign(small_cfg())
+    now = 0.0
+    for vpn, line, write in accesses:
+        cost = design.access(0, 0, vpn, line, write, now)
+        now += 30.0 + cost.cycles / 3.0
+    off = design.off_package.energy
+    assert off.read_bytes % 8 == 0
+    assert off.write_bytes % 8 == 0
+    # Upper bound: every fill is at most one page + walk PTE reads.
+    max_reads = design.engine.fills * PAGE_BYTES + design.walker.walks * 8
+    assert off.read_bytes <= max_reads
+    # In-package writes cover at least the fills' lay-ins.
+    assert design.in_package.energy.write_bytes >= 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(ACCESS, min_size=1, max_size=120))
+def test_sram_and_tagless_agree_on_reachability(accesses):
+    """Functional equivalence: both designs must service exactly the
+    same access sequence without error, touching the same number of
+    trace accesses (the designs differ in cost, never in coverage)."""
+    sram = SRAMTagDesign(small_cfg())
+    tagless = TaglessDesign(small_cfg())
+    now = 0.0
+    for vpn, line, write in accesses:
+        sram.access(0, 0, vpn, line, write, now)
+        tagless.access(0, 0, vpn, line, write, now)
+        now += 50.0
+    assert sram.accesses == tagless.accesses == len(accesses)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(ACCESS, min_size=5, max_size=120), st.integers(1, 4))
+def test_multicore_determinism(accesses, cores):
+    """Replaying the same bound traces twice gives identical results."""
+    import numpy as np
+
+    from repro.cpu.multicore import BoundTrace, run_interleaved
+    from repro.workloads.trace import AccessTrace
+
+    cfg = dataclasses.replace(
+        default_system(cache_megabytes=512, num_cores=cores,
+                       capacity_scale=512),
+        tlb_scale=32,
+    )
+    pages = np.array([a[0] for a in accesses], dtype=np.int64)
+    lines = np.array([a[1] for a in accesses], dtype=np.int16)
+    writes = np.array([a[2] for a in accesses])
+    gaps = np.full(len(accesses), 15, dtype=np.int64)
+    trace = AccessTrace("p", pages, lines, writes, gaps)
+    bindings = [BoundTrace(i, i, trace) for i in range(cores)]
+
+    def run_once():
+        design = TaglessDesign(cfg)
+        return [r.cycles for r in run_interleaved(design, bindings)]
+
+    assert run_once() == run_once()

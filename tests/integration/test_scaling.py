@@ -1,0 +1,51 @@
+"""Scale-invariance: the qualitative result survives the capacity scale.
+
+The whole methodology rests on one claim (DESIGN.md section 2): shrinking
+the DRAM cache and the workload footprints by the same factor preserves
+the ratios that drive the figures.  These tests check the claim directly
+by running the same study at two different scale factors and asserting
+that the design ordering -- the reproduced *shape* -- is unchanged.
+"""
+
+import pytest
+
+from repro import BoundTrace, Simulator, default_system
+from repro.workloads import TraceGenerator, spec_profile
+
+
+def normalized_ipcs(capacity_scale: int, accesses: int):
+    config = default_system(cache_megabytes=1024, num_cores=1,
+                            capacity_scale=capacity_scale)
+    trace = TraceGenerator(
+        spec_profile("milc"), capacity_scale=capacity_scale
+    ).generate(accesses)
+    bindings = [BoundTrace(0, 0, trace)]
+    sim = Simulator(config)
+    base = sim.run("no-l3", bindings).ipc_sum
+    return {
+        name: sim.run(name, bindings).ipc_sum / base
+        for name in ("bi", "sram", "tagless", "ideal")
+    }
+
+
+@pytest.fixture(scope="module")
+def two_scales():
+    return {
+        64: normalized_ipcs(64, accesses=25_000),
+        128: normalized_ipcs(128, accesses=25_000),
+    }
+
+
+def test_ordering_is_scale_invariant(two_scales):
+    for scale, ipc in two_scales.items():
+        assert 1.0 < ipc["bi"] < ipc["sram"] < ipc["tagless"], scale
+        assert ipc["tagless"] <= ipc["ideal"] * 1.001, scale
+
+
+def test_magnitudes_track_across_scales(two_scales):
+    """Normalised speedups at the two scales agree within ~15 % -- the
+    scale factor moves absolute sizes, not the competitive landscape."""
+    for design in ("bi", "sram", "tagless", "ideal"):
+        a = two_scales[64][design]
+        b = two_scales[128][design]
+        assert abs(a - b) / a < 0.15, design

@@ -1,0 +1,138 @@
+"""Caching-policy layer tests (Section 3.5's flexibility hook)."""
+
+import numpy as np
+import pytest
+
+from repro.policy import (
+    AlwaysCachePolicy,
+    PolicyDecision,
+    StaticProfilePolicy,
+    TouchCountFilterPolicy,
+)
+from repro.vm.page_table import PageTableEntry
+from repro.workloads.trace import AccessTrace
+
+
+def pte_for(vpn=1):
+    return PageTableEntry(virtual_page=vpn, physical_page=vpn + 100)
+
+
+class TestAlwaysCache:
+    def test_always_caches(self):
+        policy = AlwaysCachePolicy()
+        for vpn in range(5):
+            assert policy.decide(0, vpn, pte_for(vpn), 0.0) \
+                is PolicyDecision.CACHE
+        assert policy.stats("p_")["p_decisions"] == 5.0
+
+
+class TestStaticProfile:
+    def test_pins_listed_pages(self):
+        policy = StaticProfilePolicy({0: [1, 2], 1: [3]})
+        assert policy.decide(0, 1, pte_for(1), 0.0) is PolicyDecision.PIN_NC
+        assert policy.decide(0, 3, pte_for(3), 0.0) is PolicyDecision.CACHE
+        assert policy.decide(1, 3, pte_for(3), 0.0) is PolicyDecision.PIN_NC
+        assert policy.nc_page_count == 3
+
+    def test_from_traces(self):
+        trace = AccessTrace(
+            name="t",
+            virtual_pages=np.array([1] * 40 + [2] * 3, dtype=np.int64),
+            lines=np.zeros(43, dtype=np.int16),
+            writes=np.zeros(43, dtype=bool),
+            instruction_gaps=np.full(43, 10, dtype=np.int64),
+        )
+        policy = StaticProfilePolicy.from_traces({0: trace}, threshold=32)
+        assert policy.decide(0, 2, pte_for(2), 0.0) is PolicyDecision.PIN_NC
+        assert policy.decide(0, 1, pte_for(1), 0.0) is PolicyDecision.CACHE
+
+    def test_stats(self):
+        policy = StaticProfilePolicy({0: [1]})
+        policy.decide(0, 1, pte_for(1), 0.0)
+        policy.decide(0, 9, pte_for(9), 0.0)
+        stats = policy.stats("p_")
+        assert stats["p_pinned"] == 1.0
+        assert stats["p_cached"] == 1.0
+
+
+class TestTouchCountFilter:
+    def test_bypasses_until_threshold(self):
+        policy = TouchCountFilterPolicy(threshold=3)
+        assert policy.decide(0, 1, pte_for(), 0.0) is PolicyDecision.BYPASS
+        assert policy.decide(0, 1, pte_for(), 1.0) is PolicyDecision.BYPASS
+        assert policy.decide(0, 1, pte_for(), 2.0) is PolicyDecision.CACHE
+        assert policy.promotions == 1
+        assert policy.bypasses == 2
+
+    def test_threshold_one_behaves_like_always(self):
+        policy = TouchCountFilterPolicy(threshold=1)
+        assert policy.decide(0, 1, pte_for(), 0.0) is PolicyDecision.CACHE
+
+    def test_counters_are_per_page_and_process(self):
+        policy = TouchCountFilterPolicy(threshold=2)
+        policy.decide(0, 1, pte_for(), 0.0)
+        assert policy.decide(1, 1, pte_for(), 0.0) is PolicyDecision.BYPASS
+        assert policy.pending_pages() == 2
+
+    def test_decay_halves_counts(self):
+        policy = TouchCountFilterPolicy(threshold=4, decay_interval_ns=100.0)
+        policy.decide(0, 1, pte_for(), 0.0)
+        policy.decide(0, 1, pte_for(), 1.0)  # count 2
+        # Past the decay interval: count halves to 1 before incrementing.
+        assert policy.decide(0, 1, pte_for(), 500.0) is PolicyDecision.BYPASS
+        assert policy.decays == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TouchCountFilterPolicy(threshold=0)
+        with pytest.raises(ValueError):
+            TouchCountFilterPolicy(decay_interval_ns=0.0)
+
+
+class TestHandlerIntegration:
+    def make_design(self, small_config):
+        from repro.designs.tagless_design import TaglessDesign
+
+        return TaglessDesign(small_config)
+
+    def test_bypass_serves_off_package_without_pinning(self, small_config):
+        design = self.make_design(small_config)
+        design.set_caching_policy(
+            TouchCountFilterPolicy(threshold=2, decay_interval_ns=1e12)
+        )
+        design.access(0, 0, 5, 0, False, 0.0)
+        assert design.engine.fills == 0  # bypassed
+        pte = design.page_table(0).entry(5)
+        assert not pte.non_cacheable  # not pinned: will be reconsidered
+        # Push it out of the TLB and touch again: second miss promotes.
+        entries = small_config.scaled_tlb.l2_entries
+        for i in range(entries + 2):
+            design.access(0, 0, 100 + i, 0, False, 1000.0 * (i + 1))
+        design.access(0, 0, 5, 1, False, 10**7)
+        assert design.engine.fills >= 1
+
+    def test_pin_nc_sets_pte_bit(self, small_config):
+        design = self.make_design(small_config)
+        design.set_caching_policy(StaticProfilePolicy({0: [5]}))
+        design.access(0, 0, 5, 0, False, 0.0)
+        assert design.page_table(0).entry(5).non_cacheable
+        assert design.engine.fills == 0
+
+    def test_policy_stats_surface(self, small_config):
+        design = self.make_design(small_config)
+        design.set_caching_policy(AlwaysCachePolicy())
+        design.access(0, 0, 5, 0, False, 0.0)
+        assert design.stats()["policy_decisions"] == 1.0
+
+    def test_simulator_plumbs_policy(self, small_config, tiny_trace):
+        from repro.cpu.multicore import BoundTrace
+        from repro.cpu.simulator import Simulator
+
+        policy = TouchCountFilterPolicy(threshold=2)
+        result = Simulator(small_config).run(
+            "tagless",
+            [BoundTrace(0, 0, tiny_trace)],
+            caching_policy=policy,
+        )
+        assert "policy_promotions" in result.stats
+        assert result.stats["policy_bypasses"] > 0

@@ -1,0 +1,115 @@
+"""Replacement policy tests, including a model-based LRU property test."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sram.replacement import (
+    ClockPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        p = LRUPolicy()
+        for key in (1, 2, 3):
+            p.on_insert(key)
+        p.on_access(1)
+        assert p.victim() == 2
+
+    def test_evict_removes(self):
+        p = LRUPolicy()
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_evict(1)
+        assert p.victim() == 2
+        assert len(p) == 1
+
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "access"]),
+                              st.integers(0, 7)), max_size=60))
+    def test_matches_reference_model(self, ops):
+        """Drive the policy and a list-based reference model in lockstep."""
+        policy = LRUPolicy()
+        model = []  # least-recent first
+        for op, key in ops:
+            if op == "insert" and key not in model:
+                policy.on_insert(key)
+                model.append(key)
+            elif op == "access" and key in model:
+                policy.on_access(key)
+                model.remove(key)
+                model.append(key)
+        if model:
+            assert policy.victim() == model[0]
+        assert sorted(policy.keys()) == sorted(model)
+
+
+class TestFIFO:
+    def test_ignores_accesses(self):
+        p = FIFOPolicy()
+        for key in (1, 2, 3):
+            p.on_insert(key)
+        p.on_access(1)
+        p.on_access(1)
+        assert p.victim() == 1
+
+    def test_insertion_order(self):
+        p = FIFOPolicy()
+        p.on_insert(5)
+        p.on_insert(3)
+        assert p.victim() == 5
+
+
+class TestClock:
+    def test_second_chance(self):
+        p = ClockPolicy()
+        for key in (1, 2, 3):
+            p.on_insert(key)
+        p.on_access(1)  # reference bit set
+        assert p.victim() == 2  # 1 gets a second chance
+
+    def test_all_referenced_degrades_to_fifo(self):
+        p = ClockPolicy()
+        for key in (1, 2):
+            p.on_insert(key)
+            p.on_access(key)
+        assert p.victim() == 1
+
+    def test_evict(self):
+        p = ClockPolicy()
+        p.on_insert(1)
+        p.on_insert(2)
+        p.on_evict(1)
+        assert p.victim() == 2
+
+
+class TestRandom:
+    def test_victim_is_resident(self):
+        p = RandomPolicy(seed=1)
+        for key in range(5):
+            p.on_insert(key)
+        for _ in range(20):
+            assert p.victim() in range(5)
+
+    def test_deterministic_for_seed(self):
+        a, b = RandomPolicy(seed=7), RandomPolicy(seed=7)
+        for key in range(5):
+            a.on_insert(key)
+            b.on_insert(key)
+        assert [a.victim() for _ in range(5)] == [b.victim() for _ in range(5)]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy), ("fifo", FIFOPolicy),
+        ("clock", ClockPolicy), ("random", RandomPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("belady")

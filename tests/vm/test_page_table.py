@@ -1,0 +1,107 @@
+"""Page table and frame allocator tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.vm.page_table import (
+    PageTable,
+    PageTableEntry,
+    PhysicalFrameAllocator,
+)
+
+
+class TestPhysicalFrameAllocator:
+    def test_allocates_unique_frames(self):
+        alloc = PhysicalFrameAllocator(total_pages=100)
+        frames = [alloc.allocate() for _ in range(100)]
+        assert len(set(frames)) == 100
+        assert all(0 <= f < 100 for f in frames)
+
+    def test_exhaustion_raises(self):
+        alloc = PhysicalFrameAllocator(total_pages=3)
+        for _ in range(3):
+            alloc.allocate()
+        with pytest.raises(SimulationError):
+            alloc.allocate()
+
+    def test_stride_coprime_adjustment(self):
+        # total divisible by the default stride: must still permute.
+        alloc = PhysicalFrameAllocator(total_pages=997 * 2, stride=997)
+        frames = [alloc.allocate() for _ in range(997 * 2)]
+        assert len(set(frames)) == 997 * 2
+
+    def test_scatters_consecutive_allocations(self):
+        alloc = PhysicalFrameAllocator(total_pages=10_000)
+        a, b = alloc.allocate(), alloc.allocate()
+        assert abs(a - b) > 1  # not linear
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PhysicalFrameAllocator(0)
+
+
+class TestPageTableEntry:
+    def test_target_is_physical_by_default(self):
+        pte = PageTableEntry(virtual_page=1, physical_page=42)
+        assert pte.target_page == 42
+
+    def test_install_in_cache_switches_target(self):
+        pte = PageTableEntry(virtual_page=1, physical_page=42)
+        pte.install_in_cache(7)
+        assert pte.valid_in_cache
+        assert pte.target_page == 7
+
+    def test_evict_restores_physical(self):
+        pte = PageTableEntry(virtual_page=1, physical_page=42)
+        pte.install_in_cache(7)
+        pte.evict_from_cache()
+        assert not pte.valid_in_cache
+        assert pte.target_page == 42
+        assert pte.cache_page is None
+
+    def test_vc_without_cache_page_is_an_error(self):
+        pte = PageTableEntry(virtual_page=1, physical_page=42,
+                             valid_in_cache=True)
+        with pytest.raises(SimulationError):
+            pte.target_page
+
+
+class TestPageTable:
+    def test_lazy_materialisation(self):
+        table = PageTable(PhysicalFrameAllocator(100))
+        assert len(table) == 0
+        pte = table.entry(5)
+        assert len(table) == 1
+        assert table.entry(5) is pte  # stable identity
+
+    def test_distinct_pages_get_distinct_frames(self):
+        table = PageTable(PhysicalFrameAllocator(100))
+        a = table.entry(1).physical_page
+        b = table.entry(2).physical_page
+        assert a != b
+
+    def test_existing_entry(self):
+        table = PageTable(PhysicalFrameAllocator(100))
+        assert table.existing_entry(9) is None
+        table.entry(9)
+        assert table.existing_entry(9) is not None
+
+    def test_set_non_cacheable(self):
+        table = PageTable(PhysicalFrameAllocator(100))
+        table.set_non_cacheable(3)
+        assert table.entry(3).non_cacheable
+        table.set_non_cacheable(3, False)
+        assert not table.entry(3).non_cacheable
+
+    def test_cached_pages_count(self):
+        table = PageTable(PhysicalFrameAllocator(100))
+        table.entry(1).install_in_cache(0)
+        table.entry(2)
+        assert table.cached_pages() == 1
+
+    def test_two_tables_share_allocator_without_frame_overlap(self):
+        alloc = PhysicalFrameAllocator(100)
+        t0, t1 = PageTable(alloc, 0), PageTable(alloc, 1)
+        frames = {t0.entry(i).physical_page for i in range(10)}
+        frames |= {t1.entry(i).physical_page for i in range(10)}
+        assert len(frames) == 20  # no aliasing across processes

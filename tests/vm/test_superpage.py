@@ -1,0 +1,137 @@
+"""Superpage support tests (Sections 3.5 and 6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.designs.tagless_design import TaglessDesign
+from repro.vm.page_table import PageTable, PhysicalFrameAllocator
+
+
+@pytest.fixture
+def table():
+    return PageTable(PhysicalFrameAllocator(4096))
+
+
+class TestAllocator:
+    def test_contiguous_run_from_the_top(self):
+        alloc = PhysicalFrameAllocator(1000)
+        base = alloc.allocate_contiguous(16)
+        assert base == 1000 - 16
+
+    def test_strided_allocations_avoid_the_reservation(self):
+        alloc = PhysicalFrameAllocator(100)
+        base = alloc.allocate_contiguous(50)
+        frames = [alloc.allocate() for _ in range(50)]
+        assert all(frame < base for frame in frames)
+        with pytest.raises(SimulationError):
+            alloc.allocate()
+
+    def test_reservation_exhaustion(self):
+        alloc = PhysicalFrameAllocator(10)
+        with pytest.raises(SimulationError):
+            alloc.allocate_contiguous(11)
+
+
+class TestPageTableSuperpages:
+    def test_map_and_translate(self, table):
+        pte = table.map_superpage(base_vpn=16, order=3)
+        assert pte.is_superpage
+        assert pte.superpage_pages == 8
+        # Any page of the run resolves to the base PTE.
+        assert table.entry(20) is pte
+        assert table.superpage_base(20) == (16, 3)
+        assert table.superpage_base(24) is None
+
+    def test_alignment_enforced(self, table):
+        with pytest.raises(ValueError):
+            table.map_superpage(base_vpn=3, order=2)
+        with pytest.raises(ValueError):
+            table.map_superpage(base_vpn=0, order=0)
+
+    def test_overlap_with_existing_mapping_rejected(self, table):
+        table.entry(17)
+        with pytest.raises(SimulationError):
+            table.map_superpage(base_vpn=16, order=3)
+
+    def test_split_creates_contiguous_4k_ptes(self, table):
+        base_pte = table.map_superpage(base_vpn=16, order=3)
+        created = table.split_superpage(16)
+        assert created == 8
+        assert table.superpage_splits == 1
+        for offset in range(8):
+            pte = table.entry(16 + offset)
+            assert not pte.is_superpage
+            assert pte.physical_page == base_pte.physical_page + offset
+
+    def test_split_unknown_base_rejected(self, table):
+        with pytest.raises(SimulationError):
+            table.split_superpage(64)
+
+
+class TestDesignIntegration:
+    def test_split_policy_then_normal_caching(self, small_config):
+        design = TaglessDesign(small_config)
+        design.page_table(0).map_superpage(base_vpn=16, order=3)
+        cost = design.access(0, 0, 18, 0, False, 0.0)
+        # The split happened and the page was then cached normally.
+        assert design.page_table(0).superpage_splits == 1
+        assert design.engine.fills == 1
+        assert design.handlers[0].superpage_splits == 1
+        # Sibling pages are now ordinary pages: a later touch fills them
+        # without another split.
+        design.access(0, 0, 19, 0, False, 10_000.0)
+        assert design.page_table(0).superpage_splits == 1
+        assert design.engine.fills == 2
+        design.engine.check_invariants()
+
+    def test_split_cost_charged(self, small_config):
+        design = TaglessDesign(small_config)
+        design.page_table(0).map_superpage(base_vpn=16, order=3)
+        sp_cost = design.access(0, 0, 18, 0, False, 0.0).cycles
+        plain_cost = design.access(0, 0, 999, 0, False, 10**6).cycles
+        assert sp_cost > plain_cost  # the one-time split premium
+
+    def test_nc_policy_bypasses_whole_run(self, small_config):
+        config = dataclasses.replace(
+            small_config,
+            dram_cache=dataclasses.replace(
+                small_config.dram_cache, superpage_handling="nc"
+            ),
+        )
+        design = TaglessDesign(config)
+        design.page_table(0).map_superpage(base_vpn=16, order=3)
+        design.access(0, 0, 18, 0, False, 0.0)
+        assert design.engine.fills == 0
+        assert design.handlers[0].superpage_nc_pins == 1
+        # Correct per-page frames: two pages of the run map to distinct,
+        # adjacent targets.
+        design.access(0, 0, 19, 0, False, 1000.0)
+        t18 = design.tlbs[0].l1.peek(18).target_page
+        t19 = design.tlbs[0].l1.peek(19).target_page
+        assert t19 == t18 + 1
+
+    def test_conventional_designs_translate_superpages(self, small_config):
+        from repro.designs.no_l3 import NoL3Design
+
+        design = NoL3Design(small_config)
+        design.page_table(0).map_superpage(base_vpn=16, order=3)
+        design.access(0, 0, 18, 0, False, 0.0)
+        design.access(0, 0, 19, 0, False, 100.0)
+        t18 = design.tlbs[0].l1.peek(18).target_page
+        t19 = design.tlbs[0].l1.peek(19).target_page
+        assert t19 == t18 + 1
+
+    def test_simulator_plumbs_superpages(self, small_config, tiny_trace):
+        from repro.cpu.multicore import BoundTrace
+        from repro.cpu.simulator import Simulator
+
+        result = Simulator(small_config).run(
+            "tagless",
+            [BoundTrace(0, 0, tiny_trace)],
+            superpages={0: [(0, 3)]},
+            warmup_fraction=0.0,  # keep the split inside the measured run
+        )
+        assert result.ipc_sum > 0
+        assert result.stats["core0_handler_superpage_splits"] >= 1

@@ -1,0 +1,105 @@
+"""Trace characterisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.analysis import (
+    TraceCharacter,
+    character_table,
+    characterize,
+    reuse_histogram,
+    working_set_curve,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import spec_profile
+from repro.workloads.trace import AccessTrace
+
+
+def make_trace(pages, lines=None):
+    n = len(pages)
+    return AccessTrace(
+        name="t",
+        virtual_pages=np.array(pages, dtype=np.int64),
+        lines=np.array(lines if lines is not None else list(range(n)),
+                       dtype=np.int16) % 64,
+        writes=np.zeros(n, dtype=bool),
+        instruction_gaps=np.full(n, 10, dtype=np.int64),
+    )
+
+
+def test_basic_counts():
+    c = characterize(make_trace([1, 1, 1, 2]), singleton_threshold=2)
+    assert c.footprint_pages == 2
+    assert c.mean_accesses_per_page == pytest.approx(2.0)
+    assert c.singleton_page_fraction == pytest.approx(0.5)  # page 2
+    assert c.singleton_access_fraction == pytest.approx(0.25)
+
+
+def test_hot_share():
+    # One page takes 90 of 100 accesses.
+    pages = [7] * 90 + list(range(10))
+    c = characterize(make_trace(pages))
+    assert c.hot10pct_access_share >= 0.9
+
+
+def test_sequential_detection():
+    seq = make_trace([1] * 16, lines=list(range(16)))
+    c = characterize(seq)
+    assert c.sequential_step_fraction == pytest.approx(1.0)
+    rand = make_trace([1] * 16, lines=[0, 17, 3, 40, 9, 22, 50, 1,
+                                       30, 12, 60, 5, 44, 2, 55, 8])
+    assert characterize(rand).sequential_step_fraction < 0.2
+
+
+def test_page_transition_rate():
+    c = characterize(make_trace([1, 1, 2, 2]))
+    assert c.page_transition_rate == pytest.approx(1 / 3)
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        characterize(make_trace([]))
+
+
+def test_reuse_histogram_buckets():
+    hist = reuse_histogram(make_trace([1] * 5 + [2]), buckets=(1, 4))
+    assert hist["1-1"] == 1      # page 2
+    assert hist["2-4"] == 0
+    assert hist[">4"] == 1       # page 1 (5 accesses)
+
+
+def test_working_set_curve_monotone():
+    trace = TraceGenerator(
+        spec_profile("milc"), capacity_scale=128
+    ).generate(5000)
+    curve = working_set_curve(trace, num_points=5)
+    sizes = [touched for __, touched in curve]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] == trace.footprint_pages
+
+
+def test_generator_matches_profile_character():
+    """The calibration loop in one test: a generated GemsFDTD trace
+    must exhibit the character its profile encodes."""
+    profile = spec_profile("GemsFDTD")
+    trace = TraceGenerator(profile, capacity_scale=64).generate(40_000)
+    c = characterize(trace)
+    assert c.apki == pytest.approx(profile.apki, rel=0.15)
+    assert c.write_fraction == pytest.approx(profile.write_fraction,
+                                             abs=0.05)
+    assert c.singleton_page_fraction > 0.1  # the low-reuse pages exist
+    assert c.hot10pct_access_share > 0.2    # and so does a hot set
+
+
+def test_character_table_renders():
+    c = characterize(make_trace([1, 2, 3]))
+    table = character_table([c])
+    assert "workload" in table
+    assert "t" in table
+
+
+def test_character_is_frozen():
+    c = characterize(make_trace([1]))
+    assert isinstance(c, TraceCharacter)
+    with pytest.raises(Exception):
+        c.accesses = 5

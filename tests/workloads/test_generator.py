@@ -1,0 +1,148 @@
+"""Trace generator tests: determinism and statistical fidelity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profile import WorkloadProfile
+
+
+def make_profile(**overrides):
+    base = dict(
+        name="synthetic",
+        footprint_mb=8.0,
+        apki=25.0,
+        hot_page_fraction=0.2,
+        hot_access_fraction=0.5,
+        zipf_alpha=0.9,
+        stream_fraction=0.25,
+        cold_fraction=0.05,
+        burst_length=4.0,
+        write_fraction=0.3,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+def test_deterministic():
+    gen_a = TraceGenerator(make_profile(), capacity_scale=64)
+    gen_b = TraceGenerator(make_profile(), capacity_scale=64)
+    a, b = gen_a.generate(5000), gen_b.generate(5000)
+    assert (a.virtual_pages == b.virtual_pages).all()
+    assert (a.lines == b.lines).all()
+    assert (a.writes == b.writes).all()
+
+
+def test_seed_tag_changes_trace():
+    a = TraceGenerator(make_profile(), seed_tag="a").generate(5000)
+    b = TraceGenerator(make_profile(), seed_tag="b").generate(5000)
+    assert (a.virtual_pages != b.virtual_pages).any()
+
+
+def test_requested_length():
+    trace = TraceGenerator(make_profile()).generate(3000)
+    assert len(trace) == 3000
+
+
+def test_write_fraction_close_to_profile():
+    trace = TraceGenerator(make_profile(write_fraction=0.3)).generate(20000)
+    assert trace.write_fraction() == pytest.approx(0.3, abs=0.03)
+
+
+def test_apki_close_to_profile():
+    trace = TraceGenerator(make_profile(apki=25.0)).generate(20000)
+    assert trace.accesses_per_kilo_instruction == pytest.approx(25.0,
+                                                                rel=0.15)
+
+
+def test_footprint_bounded():
+    profile = make_profile()
+    gen = TraceGenerator(profile, capacity_scale=64)
+    trace = gen.generate(20000)
+    resident = profile.footprint_pages(64)
+    # Touched pages: the resident footprint plus the bounded cold region.
+    assert trace.footprint_pages <= resident * 3 + 64
+    assert trace.footprint_pages > resident // 2
+
+
+def test_hot_pages_dominate_accesses():
+    trace = TraceGenerator(
+        make_profile(hot_access_fraction=0.7, stream_fraction=0.1,
+                     cold_fraction=0.05)
+    ).generate(20000)
+    pages, counts = np.unique(trace.virtual_pages, return_counts=True)
+    top_share = np.sort(counts)[::-1][:50].sum() / counts.sum()
+    assert top_share > 0.4  # a skewed hot set exists
+
+
+def test_cold_pages_rarely_reused():
+    # Footprint large enough that the bounded cold region does not wrap.
+    profile = make_profile(cold_fraction=0.05, footprint_mb=64.0)
+    gen = TraceGenerator(profile, capacity_scale=64)
+    trace = gen.generate(20000)
+    resident = profile.footprint_pages(64)
+    counts = trace.page_access_counts()
+    cold_counts = [c for p, c in counts.items() if p >= resident]
+    assert cold_counts, "cold pages must exist"
+    assert np.mean(cold_counts) < 6  # near-singleton
+
+
+def test_sequential_lines_walk_the_page():
+    trace = TraceGenerator(
+        make_profile(stream_fraction=0.9, hot_access_fraction=0.05,
+                     cold_fraction=0.0, burst_length=16.0)
+    ).generate(5000)
+    deltas = np.diff(trace.lines.astype(int)) % 64
+    # Mostly +1 steps within bursts.
+    assert (deltas == 1).mean() > 0.5
+
+
+def test_random_lines_when_not_sequential():
+    trace = TraceGenerator(
+        make_profile(sequential_lines=False)
+    ).generate(5000)
+    deltas = np.diff(trace.lines.astype(int)) % 64
+    assert (deltas == 1).mean() < 0.2
+
+
+def test_threads_share_hot_set_but_split_streams():
+    profile = make_profile(stream_fraction=0.5, hot_access_fraction=0.3)
+    gen = TraceGenerator(profile, capacity_scale=64)
+    t0 = gen.generate(8000, thread_id=0, num_threads=4)
+    t1 = gen.generate(8000, thread_id=1, num_threads=4)
+    hot = profile.footprint_pages(64) * profile.hot_page_fraction
+    shared = set(t0.virtual_pages.tolist()) & set(t1.virtual_pages.tolist())
+    assert shared, "threads must share hot pages"
+    assert any(p < hot for p in shared)
+
+
+def test_invalid_requests_rejected():
+    gen = TraceGenerator(make_profile())
+    with pytest.raises(ConfigurationError):
+        gen.generate(0)
+    with pytest.raises(ConfigurationError):
+        gen.generate(100, thread_id=4, num_threads=4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hot=st.floats(0.0, 0.6),
+    stream=st.floats(0.0, 0.39),
+    cold=st.floats(0.0, 0.3),
+    burst=st.floats(1.0, 32.0),
+)
+def test_generator_robust_over_parameter_space(hot, stream, cold, burst):
+    """Any legal profile yields a valid trace of the requested length."""
+    from hypothesis import assume
+
+    assume(hot + stream + cold <= 1.0)
+    profile = make_profile(
+        hot_access_fraction=hot, stream_fraction=stream,
+        cold_fraction=cold, burst_length=burst,
+    )
+    trace = TraceGenerator(profile, capacity_scale=128).generate(2000)
+    assert len(trace) == 2000
+    assert trace.lines.min() >= 0 and trace.lines.max() < 64
+    assert trace.virtual_pages.min() >= 0

@@ -1,0 +1,125 @@
+"""SPEC/PARSEC profile catalogues and the Table 5 mixes."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.mixes import MIXES, MIX_ORDER, mix_programs, mix_traces
+from repro.workloads.parsec import (
+    PARSEC_ORDER,
+    PARSEC_PROFILES,
+    parsec_profile,
+    parsec_thread_traces,
+)
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES, spec_profile
+
+
+class TestSpecCatalogue:
+    def test_eleven_programs(self):
+        """Section 4: the 11 most memory-bound SPEC 2006 programs."""
+        assert len(SPEC_PROFILES) == 11
+
+    def test_order_covers_all(self):
+        assert set(SPEC_ORDER) == set(SPEC_PROFILES)
+
+    def test_lookup(self):
+        assert spec_profile("mcf").name == "mcf"
+        with pytest.raises(ConfigurationError):
+            spec_profile("gcc")
+
+    def test_every_profile_is_memory_bound(self):
+        for profile in SPEC_PROFILES.values():
+            assert profile.apki >= 20, profile.name
+
+    def test_characters(self):
+        assert not spec_profile("mcf").sequential_lines  # pointer chasing
+        assert spec_profile("libquantum").stream_fraction > 0.8
+        assert spec_profile("lbm").write_fraction > 0.4
+        assert (spec_profile("GemsFDTD").cold_fraction
+                > spec_profile("sphinx3").cold_fraction)
+
+
+class TestParsecCatalogue:
+    def test_four_programs(self):
+        assert len(PARSEC_PROFILES) == 4
+        assert set(PARSEC_ORDER) == set(PARSEC_PROFILES)
+
+    def test_paper_characterisation(self):
+        """Section 5.3: streamcluster/facesim reuse+MPKI high;
+        swaptions/fluidanimate singleton-heavy with low MPKI."""
+        assert parsec_profile("streamcluster").apki > 20
+        assert parsec_profile("swaptions").apki < 5
+        assert (parsec_profile("swaptions").cold_fraction
+                > parsec_profile("streamcluster").cold_fraction)
+
+    def test_thread_traces(self):
+        traces = parsec_thread_traces("swaptions", num_threads=4,
+                                      accesses_per_thread=1000)
+        assert len(traces) == 4
+        assert all(len(t) == 1000 for t in traces)
+
+    def test_unknown_program(self):
+        with pytest.raises(ConfigurationError):
+            parsec_profile("blackscholes")
+
+
+class TestMixes:
+    def test_table5_verbatim(self):
+        assert MIXES["MIX1"] == ("milc", "leslie3d", "omnetpp", "sphinx3")
+        assert MIXES["MIX5"] == ("mcf", "soplex", "GemsFDTD", "lbm")
+        assert MIXES["MIX8"] == ("mcf", "leslie3d", "GemsFDTD", "omnetpp")
+
+    def test_eight_mixes_of_four(self):
+        assert len(MIXES) == 8
+        for programs in MIXES.values():
+            assert len(programs) == 4
+            for program in programs:
+                assert program in SPEC_PROFILES
+
+    def test_mix_order(self):
+        assert MIX_ORDER == tuple(f"MIX{i}" for i in range(1, 9))
+
+    def test_mix_traces(self):
+        traces = mix_traces("MIX1", accesses_per_program=500)
+        assert len(traces) == 4
+        assert [t.name for t in traces] == list(MIXES["MIX1"])
+
+    def test_same_program_different_slots_differ(self):
+        """mcf appears in several mixes; each slot gets its own slice."""
+        mix5 = mix_traces("MIX5", accesses_per_program=2000)[0]
+        mix6 = mix_traces("MIX6", accesses_per_program=2000)[0]
+        assert mix5.name == mix6.name == "mcf"
+        assert (mix5.virtual_pages != mix6.virtual_pages).any()
+
+    def test_unknown_mix(self):
+        with pytest.raises(ConfigurationError):
+            mix_programs("MIX9")
+
+
+class TestProfileValidation:
+    def test_shares_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="x", footprint_mb=10, apki=10,
+                            hot_access_fraction=0.6, stream_fraction=0.3,
+                            cold_fraction=0.2)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="x", footprint_mb=0, apki=10)
+
+    def test_footprint_scaling(self):
+        profile = WorkloadProfile(name="x", footprint_mb=64.0, apki=10)
+        assert profile.footprint_pages(1) == 16384
+        assert profile.footprint_pages(64) == 256
+
+    def test_uniform_share_is_remainder(self):
+        profile = WorkloadProfile(
+            name="x", footprint_mb=10, apki=10,
+            hot_access_fraction=0.5, stream_fraction=0.2, cold_fraction=0.1,
+        )
+        assert profile.uniform_access_fraction == pytest.approx(0.2)
+
+    def test_scaled_override(self):
+        profile = spec_profile("mcf").scaled(apki=99.0)
+        assert profile.apki == 99.0
+        assert profile.name == "mcf"

@@ -7,13 +7,14 @@ SRAM-tag on EDP by 26.5 %.  The *shape* asserted below: strict design
 ordering on the geomean and a large tagless EDP win.
 """
 
-from conftest import bench_accesses
+from conftest import bench_accesses, bench_harness
 
 from repro.analysis.experiments import run_single_programmed
 
 
 def run_figure7():
-    return run_single_programmed(accesses=bench_accesses(100_000))
+    return run_single_programmed(accesses=bench_accesses(100_000),
+                                 harness=bench_harness())
 
 
 def test_fig07_spec_ipc_edp(benchmark, record_table):

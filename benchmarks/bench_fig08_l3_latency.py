@@ -4,14 +4,16 @@ Paper: the tagless cache is consistently lower thanks to the deleted
 tag check -- up to 16.7 % for 462.libquantum, 9.9 % geomean reduction.
 """
 
-from conftest import bench_accesses
+from conftest import bench_accesses, bench_harness
 
 from repro.analysis.experiments import run_single_programmed
 
 
 def run_figure8():
     return run_single_programmed(
-        accesses=bench_accesses(100_000), designs=("no-l3", "sram", "tagless")
+        accesses=bench_accesses(100_000),
+        designs=("no-l3", "sram", "tagless"),
+        harness=bench_harness(),
     )
 
 

@@ -4,13 +4,14 @@ Paper: SRAM-tag +34.9 % and tagless +38.4 % IPC over No-L3; EDP
 reductions 31.5 % and 43.5 %; BI only +11.2 %.
 """
 
-from conftest import bench_accesses
+from conftest import bench_accesses, bench_harness
 
 from repro.analysis.experiments import run_multi_programmed
 
 
 def run_figure9():
-    return run_multi_programmed(accesses=bench_accesses(70_000))
+    return run_multi_programmed(accesses=bench_accesses(70_000),
+                                harness=bench_harness())
 
 
 def test_fig09_mix_ipc_edp(benchmark, record_table):

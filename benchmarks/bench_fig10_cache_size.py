@@ -6,13 +6,14 @@ migrations); from 512 MB up the caches win, with tagless ahead at the
 large end.
 """
 
-from conftest import bench_accesses
+from conftest import bench_accesses, bench_harness
 
 from repro.analysis.experiments import run_cache_size_sweep
 
 
 def run_figure10():
-    return run_cache_size_sweep(accesses=bench_accesses(50_000))
+    return run_cache_size_sweep(accesses=bench_accesses(50_000),
+                                harness=bench_harness())
 
 
 def test_fig10_cache_size(benchmark, record_table):

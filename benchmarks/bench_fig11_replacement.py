@@ -4,7 +4,7 @@ Paper: LRU outperforms FIFO "only marginally, by 1.6 % on average",
 justifying the cheap FIFO header-pointer scheme.
 """
 
-from conftest import bench_accesses
+from conftest import bench_accesses, bench_harness
 
 from repro.analysis.experiments import run_replacement_study
 
@@ -12,7 +12,8 @@ from repro.analysis.experiments import run_replacement_study
 def run_figure11():
     # Longer traces than the other figures: replacement only matters
     # once the singleton stream has filled the cache and evictions flow.
-    return run_replacement_study(accesses=bench_accesses(140_000))
+    return run_replacement_study(accesses=bench_accesses(140_000),
+                                 harness=bench_harness())
 
 
 def test_fig11_replacement(benchmark, record_table):

@@ -5,13 +5,14 @@ streamcluster the most; swaptions and fluidanimate (singleton-heavy,
 low MPKI) see little to no improvement.
 """
 
-from conftest import bench_accesses
+from conftest import bench_accesses, bench_harness
 
 from repro.analysis.experiments import run_parsec
 
 
 def run_figure12():
-    return run_parsec(accesses=bench_accesses(60_000))
+    return run_parsec(accesses=bench_accesses(60_000),
+                      harness=bench_harness())
 
 
 def test_fig12_parsec(benchmark, record_table):

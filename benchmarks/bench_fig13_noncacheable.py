@@ -6,13 +6,14 @@ IPC over tagless without NC, from reduced bandwidth pollution and a
 higher hit ratio for the pages that remain.
 """
 
-from conftest import bench_accesses
+from conftest import bench_accesses, bench_harness
 
 from repro.analysis.experiments import run_noncacheable_study
 
 
 def run_figure13():
-    return run_noncacheable_study(accesses=bench_accesses(150_000))
+    return run_noncacheable_study(accesses=bench_accesses(150_000),
+                                  harness=bench_harness())
 
 
 def test_fig13_noncacheable(benchmark, record_table):

@@ -7,6 +7,14 @@ EXPERIMENTS.md can be refreshed by diffing that directory.
 Scale knobs: the environment variable ``REPRO_BENCH_ACCESSES`` overrides
 the per-core trace length (default 100k single-programmed / 70k per core
 multi-programmed), trading fidelity for runtime.
+
+Execution knobs: ``REPRO_BENCH_JOBS`` fans each figure sweep out to that
+many worker processes through :mod:`repro.harness`, and
+``REPRO_BENCH_CACHE`` (a directory path, or ``1`` for the default
+``~/.cache/repro``) replays unchanged points from the on-disk result
+cache -- so re-running the benchmark suite after a change only
+recomputes what the change invalidated.  Unset, benchmarks run the
+serial, uncached reference path exactly as before.
 """
 
 import os
@@ -25,6 +33,24 @@ def bench_accesses(default: int) -> int:
     if override:
         return int(override)
     return default
+
+
+def bench_harness():
+    """Build the harness the figure benchmarks dispatch through.
+
+    Returns ``None`` (the serial, uncached reference path) unless
+    ``REPRO_BENCH_JOBS`` or ``REPRO_BENCH_CACHE`` asks for more.
+    """
+    from repro.harness import Harness, ResultCache
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_env = os.environ.get("REPRO_BENCH_CACHE")
+    if jobs <= 1 and not cache_env:
+        return None
+    cache = None
+    if cache_env:
+        cache = ResultCache(None if cache_env == "1" else cache_env)
+    return Harness(jobs=max(1, jobs), cache=cache)
 
 
 @pytest.fixture

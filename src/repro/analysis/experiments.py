@@ -1,10 +1,18 @@
 """One runner per reproduced table/figure (the paper's Section 5).
 
-Each ``run_*`` function performs the full sweep behind one figure or
-table and returns a small result object that knows how to render itself
-as a paper-style text table.  The benchmarks in ``benchmarks/`` and the
-example scripts in ``examples/`` are thin wrappers around these runners,
-so the exact same code path regenerates every number in EXPERIMENTS.md.
+Each ``run_*`` function enumerates the :class:`~repro.harness.JobSpec`
+points behind one figure or table, dispatches them through the
+experiment harness (:mod:`repro.harness`) and returns a small result
+object that knows how to render itself as a paper-style text table.
+The benchmarks in ``benchmarks/`` and the example scripts in
+``examples/`` are thin wrappers around these runners, so the exact same
+code path regenerates every number in EXPERIMENTS.md.
+
+Passing a :class:`~repro.harness.Harness` parallelises the sweep across
+processes and/or replays points from the on-disk result cache; the
+default (``harness=None``) is the serial, uncached reference path and
+produces byte-identical tables either way, because every job is fully
+determined by its spec.
 
 Runtime is controlled by two knobs shared by all runners: the per-core
 trace length (``accesses``) and the capacity scale.  Defaults reproduce
@@ -15,17 +23,17 @@ much smaller values.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table, normalize_to, percent_delta
-from repro.common.config import default_system
 from repro.common.stats import geometric_mean
-from repro.cpu.multicore import BoundTrace
-from repro.cpu.simulator import SimulationResult, Simulator
+from repro.cpu.simulator import SimulationResult
 from repro.designs.registry import DESIGN_NAMES
+from repro.harness.jobs import JobSpec
+from repro.harness.runner import Harness
 from repro.workloads.generator import TraceGenerator
-from repro.workloads.mixes import MIX_ORDER, mix_traces
-from repro.workloads.parsec import PARSEC_ORDER, parsec_thread_traces
+from repro.workloads.mixes import MIX_ORDER
+from repro.workloads.parsec import PARSEC_ORDER
 from repro.workloads.spec import SPEC_ORDER, spec_profile
 
 #: Default per-core trace length for full experiment runs.
@@ -33,41 +41,23 @@ DEFAULT_ACCESSES = 150_000
 #: Multi-programmed runs use slightly shorter per-core traces: four cores
 #: already provide 4x the references.
 DEFAULT_MIX_ACCESSES = 100_000
+#: Warmup split every runner uses unless overridden (see Simulator.run).
+DEFAULT_WARMUP_FRACTION = 0.25
 
 
-def _single_program_bindings(
-    program: str, accesses: int, capacity_scale: int
-) -> List[BoundTrace]:
-    generator = TraceGenerator(
-        spec_profile(program), capacity_scale=capacity_scale
-    )
-    return [BoundTrace(core_id=0, process_id=0,
-                       trace=generator.generate(accesses))]
+def _sweep(
+    specs: Dict[Hashable, JobSpec], harness: Optional[Harness]
+) -> Dict[Hashable, SimulationResult]:
+    """Dispatch ``specs`` through ``harness`` (serial when ``None``).
 
-
-def _mix_bindings(
-    mix: str, accesses: int, capacity_scale: int
-) -> List[BoundTrace]:
-    traces = mix_traces(mix, accesses_per_program=accesses,
-                        capacity_scale=capacity_scale)
-    return [
-        BoundTrace(core_id=i, process_id=i, trace=trace)
-        for i, trace in enumerate(traces)
-    ]
-
-
-def _parsec_bindings(
-    program: str, accesses: int, capacity_scale: int, num_threads: int = 4
-) -> List[BoundTrace]:
-    traces = parsec_thread_traces(
-        program, num_threads=num_threads, accesses_per_thread=accesses,
-        capacity_scale=capacity_scale,
-    )
-    # One shared address space: every thread binds to process 0.
-    return [
-        BoundTrace(core_id=i, process_id=0, trace=trace)
-        for i, trace in enumerate(traces)
-    ]
+    Returns results keyed like the input.  Raises
+    :class:`~repro.harness.HarnessError` listing every failed point --
+    the successful remainder is already cached, so a retry after a fix
+    only recomputes the failures.
+    """
+    harness = harness or Harness()
+    results = harness.run_strict(list(specs.values()))
+    return dict(zip(specs.keys(), results))
 
 
 # ----------------------------------------------------------------------
@@ -153,6 +143,25 @@ class SingleProgramResult:
             rows,
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form of everything the tables print."""
+        return {
+            "programs": list(self.programs),
+            "designs": list(self.designs),
+            "normalized_ipc": {
+                p: self.normalized_ipc(p) for p in self.programs
+            },
+            "normalized_edp": {
+                p: self.normalized_edp(p) for p in self.programs
+            },
+            "geomean_ipc": {d: self.geomean_ipc(d) for d in self.designs},
+            "geomean_edp": {d: self.geomean_edp(d) for d in self.designs},
+            "l3_latency_cycles": {
+                p: {d: self.l3_latency(p, d) for d in self.designs}
+                for p in self.programs
+            },
+        }
+
 
 def run_single_programmed(
     programs: Sequence[str] = SPEC_ORDER,
@@ -160,21 +169,28 @@ def run_single_programmed(
     accesses: int = DEFAULT_ACCESSES,
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    harness: Optional[Harness] = None,
 ) -> SingleProgramResult:
     """Run the Figure 7 / Figure 8 sweep (11 programs x 5 designs)."""
-    config = default_system(
-        cache_megabytes=cache_megabytes,
-        num_cores=1,
-        capacity_scale=capacity_scale,
-    )
-    simulator = Simulator(config)
-    results: Dict[Tuple[str, str], SimulationResult] = {}
-    for program in programs:
-        bindings = _single_program_bindings(program, accesses, capacity_scale)
-        for design in designs:
-            results[(program, design)] = simulator.run(design, bindings)
+    specs = {
+        (program, design): JobSpec(
+            design=design,
+            workload=program,
+            workload_kind="spec",
+            accesses=accesses,
+            cache_megabytes=cache_megabytes,
+            num_cores=1,
+            capacity_scale=capacity_scale,
+            warmup_fraction=warmup_fraction,
+        )
+        for program in programs
+        for design in designs
+    }
     return SingleProgramResult(
-        programs=tuple(programs), designs=tuple(designs), results=results
+        programs=tuple(programs),
+        designs=tuple(designs),
+        results=_sweep(specs, harness),
     )
 
 
@@ -226,6 +242,21 @@ class MixResult:
         rows.append(["geomean"] + [self.geomean_edp(d) for d in self.designs])
         return format_table(title, ["mix"] + list(self.designs), rows)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mixes": list(self.mixes),
+            "designs": list(self.designs),
+            "baseline": self.baseline,
+            "normalized_ipc": {
+                m: self.normalized_ipc(m) for m in self.mixes
+            },
+            "normalized_edp": {
+                m: self.normalized_edp(m) for m in self.mixes
+            },
+            "geomean_ipc": {d: self.geomean_ipc(d) for d in self.designs},
+            "geomean_edp": {d: self.geomean_edp(d) for d in self.designs},
+        }
+
 
 def run_multi_programmed(
     mixes: Sequence[str] = MIX_ORDER,
@@ -234,22 +265,29 @@ def run_multi_programmed(
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
     replacement: str = "fifo",
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    harness: Optional[Harness] = None,
 ) -> MixResult:
     """Run the Figure 9 sweep (8 mixes x designs, 4 cores)."""
-    config = default_system(
-        cache_megabytes=cache_megabytes,
-        num_cores=4,
-        replacement=replacement,
-        capacity_scale=capacity_scale,
-    )
-    simulator = Simulator(config)
-    results: Dict[Tuple[str, str], SimulationResult] = {}
-    for mix in mixes:
-        bindings = _mix_bindings(mix, accesses, capacity_scale)
-        for design in designs:
-            results[(mix, design)] = simulator.run(design, bindings)
+    specs = {
+        (mix, design): JobSpec(
+            design=design,
+            workload=mix,
+            workload_kind="mix",
+            accesses=accesses,
+            cache_megabytes=cache_megabytes,
+            num_cores=4,
+            replacement=replacement,
+            capacity_scale=capacity_scale,
+            warmup_fraction=warmup_fraction,
+        )
+        for mix in mixes
+        for design in designs
+    }
     return MixResult(
-        mixes=tuple(mixes), designs=tuple(designs), results=results
+        mixes=tuple(mixes),
+        designs=tuple(designs),
+        results=_sweep(specs, harness),
     )
 
 
@@ -292,26 +330,54 @@ class CacheSizeResult:
             rows,
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sizes_mb": list(self.sizes_mb),
+            "mixes": list(self.mixes),
+            "normalized_ipc": {
+                str(size): {
+                    m: self.normalized_ipc(size, m) for m in self.mixes
+                }
+                for size in self.sizes_mb
+            },
+            "geomean_ipc": {
+                str(size): {
+                    d: self.geomean_ipc(size, d)
+                    for d in ("sram", "tagless")
+                }
+                for size in self.sizes_mb
+            },
+        }
+
 
 def run_cache_size_sweep(
     sizes_mb: Sequence[int] = (256, 512, 1024),
     mixes: Sequence[str] = MIX_ORDER,
     accesses: int = DEFAULT_MIX_ACCESSES,
     capacity_scale: int = 64,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    harness: Optional[Harness] = None,
 ) -> CacheSizeResult:
     """Run the Figure 10 sweep: cache size sensitivity on the mixes."""
-    results: Dict[Tuple[int, str, str], SimulationResult] = {}
-    for size in sizes_mb:
-        config = default_system(
-            cache_megabytes=size, num_cores=4, capacity_scale=capacity_scale
+    specs = {
+        (size, mix, design): JobSpec(
+            design=design,
+            workload=mix,
+            workload_kind="mix",
+            accesses=accesses,
+            cache_megabytes=size,
+            num_cores=4,
+            capacity_scale=capacity_scale,
+            warmup_fraction=warmup_fraction,
         )
-        simulator = Simulator(config)
-        for mix in mixes:
-            bindings = _mix_bindings(mix, accesses, capacity_scale)
-            for design in ("bi", "sram", "tagless"):
-                results[(size, mix, design)] = simulator.run(design, bindings)
+        for size in sizes_mb
+        for mix in mixes
+        for design in ("bi", "sram", "tagless")
+    }
     return CacheSizeResult(
-        sizes_mb=tuple(sizes_mb), mixes=tuple(mixes), results=results
+        sizes_mb=tuple(sizes_mb),
+        mixes=tuple(mixes),
+        results=_sweep(specs, harness),
     )
 
 
@@ -351,27 +417,51 @@ class ReplacementResult:
             float_format="{:.3f}",
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mixes": list(self.mixes),
+            "ipc": {
+                m: {
+                    "fifo": self.results[(m, "fifo")].ipc_sum,
+                    "lru": self.results[(m, "lru")].ipc_sum,
+                }
+                for m in self.mixes
+            },
+            "lru_gain_percent": {
+                m: (self.lru_over_fifo(m) - 1.0) * 100.0
+                for m in self.mixes
+            },
+            "mean_gain_percent": self.mean_gain_percent(),
+        }
+
 
 def run_replacement_study(
     mixes: Sequence[str] = MIX_ORDER,
     accesses: int = DEFAULT_MIX_ACCESSES,
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    harness: Optional[Harness] = None,
 ) -> ReplacementResult:
     """Run the Figure 11 ablation: FIFO vs LRU for the tagless cache."""
-    results: Dict[Tuple[str, str], SimulationResult] = {}
-    for policy in ("fifo", "lru"):
-        config = default_system(
+    specs = {
+        (mix, policy): JobSpec(
+            design="tagless",
+            workload=mix,
+            workload_kind="mix",
+            accesses=accesses,
             cache_megabytes=cache_megabytes,
             num_cores=4,
             replacement=policy,
             capacity_scale=capacity_scale,
+            warmup_fraction=warmup_fraction,
         )
-        simulator = Simulator(config)
-        for mix in mixes:
-            bindings = _mix_bindings(mix, accesses, capacity_scale)
-            results[(mix, policy)] = simulator.run("tagless", bindings)
-    return ReplacementResult(mixes=tuple(mixes), results=results)
+        for policy in ("fifo", "lru")
+        for mix in mixes
+    }
+    return ReplacementResult(
+        mixes=tuple(mixes), results=_sweep(specs, harness)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -417,6 +507,18 @@ class ParsecResult:
             rows,
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "programs": list(self.programs),
+            "designs": list(self.designs),
+            "normalized_ipc": {
+                p: self.normalized_ipc(p) for p in self.programs
+            },
+            "normalized_edp": {
+                p: self.normalized_edp(p) for p in self.programs
+            },
+        }
+
 
 def run_parsec(
     programs: Sequence[str] = PARSEC_ORDER,
@@ -424,21 +526,29 @@ def run_parsec(
     accesses: int = DEFAULT_MIX_ACCESSES,
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    harness: Optional[Harness] = None,
 ) -> ParsecResult:
     """Run the Figure 12 sweep: 4 PARSEC programs, 4 threads, shared pages."""
-    config = default_system(
-        cache_megabytes=cache_megabytes,
-        num_cores=4,
-        capacity_scale=capacity_scale,
-    )
-    simulator = Simulator(config)
-    results: Dict[Tuple[str, str], SimulationResult] = {}
-    for program in programs:
-        bindings = _parsec_bindings(program, accesses, capacity_scale)
-        for design in designs:
-            results[(program, design)] = simulator.run(design, bindings)
+    specs = {
+        (program, design): JobSpec(
+            design=design,
+            workload=program,
+            workload_kind="parsec",
+            accesses=accesses,
+            cache_megabytes=cache_megabytes,
+            num_cores=4,
+            capacity_scale=capacity_scale,
+            warmup_fraction=warmup_fraction,
+            parsec_threads=4,
+        )
+        for program in programs
+        for design in designs
+    }
     return ParsecResult(
-        programs=tuple(programs), designs=tuple(designs), results=results
+        programs=tuple(programs),
+        designs=tuple(designs),
+        results=_sweep(specs, harness),
     )
 
 
@@ -471,6 +581,15 @@ class NonCacheableResult:
             rows,
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline_ipc": self.baseline.ipc_sum,
+            "with_nc_ipc": self.with_nc.ipc_sum,
+            "nc_pages": self.nc_pages,
+            "threshold": self.threshold,
+            "gain_percent": self.gain_percent(),
+        }
+
 
 def run_noncacheable_study(
     program: str = "GemsFDTD",
@@ -478,35 +597,45 @@ def run_noncacheable_study(
     accesses: int = DEFAULT_ACCESSES,
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    harness: Optional[Harness] = None,
 ) -> NonCacheableResult:
     """Run the Section 5.4 case study.
 
     Pages with fewer than ``threshold`` accesses in the trace (the
     paper's offline-profiling criterion: fewer than half of a page's 64
     blocks touched) are flagged NC, so they bypass the DRAM cache and
-    stop polluting it.
+    stop polluting it.  The NC page set itself is recomputed inside the
+    job from the deterministic trace, so both points cache cleanly.
     """
-    config = default_system(
+    common = dict(
+        design="tagless",
+        workload=program,
+        workload_kind="spec",
+        accesses=accesses,
         cache_megabytes=cache_megabytes,
         num_cores=1,
         capacity_scale=capacity_scale,
+        warmup_fraction=warmup_fraction,
     )
+    specs = {
+        "baseline": JobSpec(**common),
+        "with_nc": JobSpec(**common, nc_threshold=threshold),
+    }
+    results = _sweep(specs, harness)
+
+    # Count the flagged pages for the table caption (cheap relative to
+    # the simulations; the trace is deterministic, so this matches what
+    # the with_nc job computed internally).
     generator = TraceGenerator(
         spec_profile(program), capacity_scale=capacity_scale
     )
-    trace = generator.generate(accesses)
-    bindings = [BoundTrace(core_id=0, process_id=0, trace=trace)]
-    simulator = Simulator(config)
+    counts = generator.generate(accesses).page_access_counts()
+    nc_pages = sum(1 for count in counts.values() if count < threshold)
 
-    baseline = simulator.run("tagless", bindings)
-    counts = trace.page_access_counts()
-    nc_pages = [page for page, count in counts.items() if count < threshold]
-    with_nc = simulator.run(
-        "tagless", bindings, non_cacheable={0: nc_pages}
-    )
     return NonCacheableResult(
-        baseline=baseline,
-        with_nc=with_nc,
-        nc_pages=len(nc_pages),
+        baseline=results["baseline"],
+        with_nc=results["with_nc"],
+        nc_pages=nc_pages,
         threshold=threshold,
     )

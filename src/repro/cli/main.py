@@ -4,18 +4,42 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import List, Optional
 
 from repro.analysis import experiments
 from repro.common.config import default_system
+from repro.common.errors import ConfigurationError
 from repro.cpu.multicore import BoundTrace
 from repro.cpu.simulator import Simulator
-from repro.designs.registry import DESIGN_NAMES
+from repro.designs.registry import ALL_DESIGN_NAMES, DESIGN_NAMES
+from repro.harness import (
+    Harness,
+    JobSpec,
+    ProgressReporter,
+    ResultCache,
+    RunArtifact,
+    default_artifact_path,
+    infer_workload_kind,
+    resolve_cache_dir,
+)
 from repro.workloads.generator import TraceGenerator
 from repro.workloads.mixes import MIX_ORDER, MIXES, mix_traces
 from repro.workloads.parsec import PARSEC_ORDER, PARSEC_PROFILES
 from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES
 from repro.workloads.trace import save_trace
+
+
+def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine flags shared by ``experiment`` and ``sweep``."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, the default)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache root (default ~/.cache/repro, "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="compute every point fresh; do not read or "
+                             "write the result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", help="save as .npz to this path")
 
     run = sub.add_parser("run", help="simulate a workload on a design")
-    run.add_argument("design", choices=list(DESIGN_NAMES) + ["alloy"])
+    run.add_argument("design", choices=ALL_DESIGN_NAMES)
     run.add_argument("workload",
                      help="SPEC/PARSEC program or MIX1..MIX8")
     run.add_argument("--accesses", type=int, default=100_000)
@@ -43,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=int, default=64)
     run.add_argument("--replacement", default="fifo",
                      choices=("fifo", "lru", "clock"))
+    run.add_argument("--warmup", type=float, default=0.25,
+                     help="fraction of each trace that warms state "
+                          "unmeasured (default 0.25)")
     run.add_argument("--json", action="store_true",
                      help="emit metrics as JSON")
 
@@ -55,6 +82,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--accesses", type=int, default=None,
                             help="per-core trace length override")
+    experiment.add_argument("--json", action="store_true",
+                            help="emit the figure's data as JSON instead "
+                                 "of text tables")
+    experiment.add_argument("--artifact", default=None,
+                            help="JSONL run-record path (default: a "
+                                 "timestamped file under <cache-dir>/runs)")
+    _add_harness_arguments(experiment)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a cartesian design x workload x cache-size sweep "
+             "and record every point to JSONL",
+    )
+    sweep.add_argument("--designs", nargs="+", default=list(DESIGN_NAMES),
+                       choices=ALL_DESIGN_NAMES, metavar="DESIGN",
+                       help=f"designs to sweep (default: paper order; "
+                            f"choices: {', '.join(ALL_DESIGN_NAMES)})")
+    sweep.add_argument("--workloads", nargs="+", required=True,
+                       metavar="WORKLOAD",
+                       help="SPEC/PARSEC programs or MIX1..MIX8")
+    sweep.add_argument("--cache-sizes", nargs="+", type=int, default=[1024],
+                       metavar="MB", help="nominal cache sizes in MB")
+    sweep.add_argument("--accesses", type=int, default=50_000,
+                       help="per-core trace length (default 50k)")
+    sweep.add_argument("--scale", type=int, default=64)
+    sweep.add_argument("--replacement", default="fifo",
+                       choices=("fifo", "lru", "clock"))
+    sweep.add_argument("--warmup", type=float, default=0.25)
+    sweep.add_argument("--out", default="sweep.jsonl",
+                       help="JSONL artifact path (default sweep.jsonl)")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the run summary as JSON")
+    _add_harness_arguments(sweep)
 
     validate = sub.add_parser(
         "validate",
@@ -110,6 +170,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if not (0.0 <= args.warmup < 1.0):
+        raise SystemExit("--warmup must be in [0, 1)")
     config = default_system(
         cache_megabytes=args.cache_mb,
         num_cores=4 if args.workload in MIXES else 1,
@@ -127,11 +189,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         ).generate(args.accesses)
         bindings = [BoundTrace(0, 0, trace)]
 
-    result = Simulator(config).run(args.design, bindings)
+    result = Simulator(config).run(
+        args.design, bindings, warmup_fraction=args.warmup
+    )
     metrics = {
         "design": args.design,
         "workload": args.workload,
         "cache_mb": args.cache_mb,
+        "warmup_fraction": args.warmup,
         "ipc": result.ipc_sum,
         "per_core_ipc": [core.ipc for core in result.cores],
         "elapsed_ms": result.elapsed_ns / 1e6,
@@ -147,51 +212,140 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_harness(args: argparse.Namespace, name: str,
+                   artifact_path: Optional[str],
+                   total: Optional[int] = None) -> Harness:
+    """Assemble the execution engine from the shared CLI flags.
+
+    Progress and the artifact location go to stderr so stdout carries
+    only the figure tables / JSON -- byte-identical to a serial,
+    uncached invocation.
+    """
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if artifact_path is None:
+        artifact_path = default_artifact_path(
+            resolve_cache_dir(args.cache_dir), name
+        )
+    artifact = RunArtifact(
+        artifact_path, name=name,
+        meta={"jobs": args.jobs, "cache": not args.no_cache,
+              "argv": sys.argv[1:]},
+    )
+    progress = ProgressReporter(total=total, label=name)
+    print(f"artifact: {artifact_path}", file=sys.stderr)
+    return Harness(jobs=args.jobs, cache=cache, progress=progress,
+                   artifact=artifact)
+
+
+def _finish_harness(harness: Harness) -> None:
+    cache_stats = harness.cache.stats if harness.cache else None
+    harness.artifact.close(cache_stats)
+    harness.progress.summary(cache_stats)
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     accesses = args.accesses
-    if args.figure == "fig7":
-        result = experiments.run_single_programmed(
-            accesses=accesses or experiments.DEFAULT_ACCESSES
-        )
-        print(result.ipc_table())
-        print()
-        print(result.edp_table())
-    elif args.figure == "fig8":
-        result = experiments.run_single_programmed(
-            accesses=accesses or experiments.DEFAULT_ACCESSES,
-            designs=("no-l3", "sram", "tagless"),
-        )
-        print(result.l3_latency_table())
-    elif args.figure == "fig9":
-        result = experiments.run_multi_programmed(
-            accesses=accesses or experiments.DEFAULT_MIX_ACCESSES
-        )
-        print(result.ipc_table())
-        print()
-        print(result.edp_table())
-    elif args.figure == "fig10":
-        result = experiments.run_cache_size_sweep(
-            accesses=accesses or experiments.DEFAULT_MIX_ACCESSES
-        )
-        print(result.table())
-    elif args.figure == "fig11":
-        result = experiments.run_replacement_study(
-            accesses=accesses or 140_000
-        )
-        print(result.table())
-    elif args.figure == "fig12":
-        result = experiments.run_parsec(
-            accesses=accesses or experiments.DEFAULT_MIX_ACCESSES
-        )
-        print(result.ipc_table())
-        print()
-        print(result.edp_table())
-    elif args.figure == "fig13":
-        result = experiments.run_noncacheable_study(
-            accesses=accesses or experiments.DEFAULT_ACCESSES
-        )
-        print(result.table())
+    harness = _build_harness(args, args.figure, args.artifact)
+    try:
+        if args.figure == "fig7":
+            result = experiments.run_single_programmed(
+                accesses=accesses or experiments.DEFAULT_ACCESSES,
+                harness=harness,
+            )
+            tables = [result.ipc_table(), result.edp_table()]
+        elif args.figure == "fig8":
+            result = experiments.run_single_programmed(
+                accesses=accesses or experiments.DEFAULT_ACCESSES,
+                designs=("no-l3", "sram", "tagless"),
+                harness=harness,
+            )
+            tables = [result.l3_latency_table()]
+        elif args.figure == "fig9":
+            result = experiments.run_multi_programmed(
+                accesses=accesses or experiments.DEFAULT_MIX_ACCESSES,
+                harness=harness,
+            )
+            tables = [result.ipc_table(), result.edp_table()]
+        elif args.figure == "fig10":
+            result = experiments.run_cache_size_sweep(
+                accesses=accesses or experiments.DEFAULT_MIX_ACCESSES,
+                harness=harness,
+            )
+            tables = [result.table()]
+        elif args.figure == "fig11":
+            result = experiments.run_replacement_study(
+                accesses=accesses or 140_000,
+                harness=harness,
+            )
+            tables = [result.table()]
+        elif args.figure == "fig12":
+            result = experiments.run_parsec(
+                accesses=accesses or experiments.DEFAULT_MIX_ACCESSES,
+                harness=harness,
+            )
+            tables = [result.ipc_table(), result.edp_table()]
+        elif args.figure == "fig13":
+            result = experiments.run_noncacheable_study(
+                accesses=accesses or experiments.DEFAULT_ACCESSES,
+                harness=harness,
+            )
+            tables = [result.table()]
+    finally:
+        _finish_harness(harness)
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        for index, table in enumerate(tables):
+            if index:
+                print()
+            print(table)
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    specs: List[JobSpec] = []
+    try:
+        for design in args.designs:
+            for workload in args.workloads:
+                kind = infer_workload_kind(workload)
+                for size in args.cache_sizes:
+                    specs.append(JobSpec(
+                        design=design,
+                        workload=workload,
+                        workload_kind=kind,
+                        accesses=args.accesses,
+                        cache_megabytes=size,
+                        num_cores=1 if kind == "spec" else 4,
+                        replacement=args.replacement,
+                        capacity_scale=args.scale,
+                        warmup_fraction=args.warmup,
+                    ))
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+    harness = _build_harness(args, "sweep", args.out, total=len(specs))
+    try:
+        outcomes = harness.run(specs)
+    finally:
+        _finish_harness(harness)
+
+    errors = sum(1 for outcome in outcomes if not outcome.ok)
+    hits = sum(1 for o in outcomes if o.cache_status == "hit")
+    summary = {
+        "jobs": len(outcomes),
+        "errors": errors,
+        "cache_hits": hits,
+        "artifact": args.out,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{len(outcomes)} jobs ({errors} errors, {hits} cache hits) "
+              f"-> {args.out}")
+    return 1 if errors else 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -212,6 +366,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "run": cmd_run,
     "experiment": cmd_experiment,
+    "sweep": cmd_sweep,
     "validate": cmd_validate,
 }
 

@@ -17,7 +17,11 @@ from repro.designs.base import AccessCost, MemorySystemDesign
 from repro.designs.bank_interleave import BankInterleavingDesign
 from repro.designs.ideal import IdealDesign
 from repro.designs.no_l3 import NoL3Design
-from repro.designs.registry import DESIGN_NAMES, create_design
+from repro.designs.registry import (
+    ALL_DESIGN_NAMES,
+    DESIGN_NAMES,
+    create_design,
+)
 from repro.designs.sram_tag import SRAMTagDesign
 from repro.designs.tagless_design import TaglessDesign
 
@@ -27,6 +31,7 @@ __all__ = [
     "BankInterleavingDesign",
     "IdealDesign",
     "NoL3Design",
+    "ALL_DESIGN_NAMES",
     "DESIGN_NAMES",
     "create_design",
     "SRAMTagDesign",

@@ -1,0 +1,61 @@
+"""Experiment-execution engine: declarative jobs, parallel fan-out,
+content-addressed result caching, and JSONL run artifacts.
+
+The figure/table runners in :mod:`repro.analysis.experiments` enumerate
+:class:`JobSpec` points and dispatch them through a :class:`Harness`;
+``repro sweep`` exposes the same machinery for ad-hoc cartesian sweeps.
+
+Typical use::
+
+    from repro.harness import Harness, JobSpec, ResultCache
+
+    harness = Harness(jobs=4, cache=ResultCache())
+    outcomes = harness.run([
+        JobSpec(design="tagless", workload="mcf", accesses=50_000),
+        JobSpec(design="sram", workload="mcf", accesses=50_000),
+    ])
+"""
+
+from repro.harness.artifacts import (
+    RunArtifact,
+    default_artifact_path,
+    job_metrics,
+    read_artifact,
+)
+from repro.harness.cache import (
+    CacheStats,
+    ResultCache,
+    resolve_cache_dir,
+    simulation_result_from_dict,
+    simulation_result_to_dict,
+)
+from repro.harness.jobs import (
+    SCHEMA_VERSION,
+    JobResult,
+    JobSpec,
+    execute_job,
+    infer_workload_kind,
+)
+from repro.harness.progress import ProgressReporter
+from repro.harness.runner import Harness, HarnessError, run_jobs
+
+__all__ = [
+    "CacheStats",
+    "Harness",
+    "HarnessError",
+    "JobResult",
+    "JobSpec",
+    "ProgressReporter",
+    "ResultCache",
+    "RunArtifact",
+    "SCHEMA_VERSION",
+    "default_artifact_path",
+    "execute_job",
+    "infer_workload_kind",
+    "job_metrics",
+    "read_artifact",
+    "resolve_cache_dir",
+    "run_jobs",
+    "simulation_result_from_dict",
+    "simulation_result_to_dict",
+]

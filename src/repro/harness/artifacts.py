@@ -1,0 +1,145 @@
+"""JSONL run artifacts: a durable record of every job a sweep executed.
+
+Each harness run can stream one record per job -- the full spec, the
+headline metrics, wall time, and whether the point came from the cache
+-- into an append-only JSONL file, bracketed by a header and a summary
+record.  The artifact is the ground truth for "what did this sweep
+actually run, and how long did it take": a warm re-run shows the same
+specs with ``"cache": "hit"`` and near-zero wall times, which is how
+the caching claims in EXPERIMENTS.md are audited.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.harness.cache import CacheStats, simulation_result_to_dict
+from repro.harness.jobs import JobResult
+from repro.cpu.simulator import SimulationResult
+
+
+def job_metrics(result: SimulationResult) -> Dict[str, object]:
+    """The headline metrics recorded per job (a superset of `repro run`)."""
+    return {
+        "ipc": result.ipc_sum,
+        "per_core_ipc": [core.ipc for core in result.cores],
+        "instructions": result.instructions,
+        "elapsed_ms": result.elapsed_ns / 1e6,
+        "mean_l3_latency_cycles": result.mean_l3_latency_cycles,
+        "energy_j": result.total_energy_j,
+        "edp_js": result.edp,
+    }
+
+
+def default_artifact_path(cache_dir: str, name: str) -> str:
+    """Timestamped path under ``<cache_dir>/runs`` for a named run."""
+    stamp = datetime.datetime.now().strftime("%Y%m%d-%H%M%S-%f")
+    return os.path.join(cache_dir, "runs", f"{name}-{stamp}.jsonl")
+
+
+class RunArtifact:
+    """Streams header / per-job / summary records to a JSONL file."""
+
+    def __init__(self, path: str, name: str = "run",
+                 meta: Optional[Dict[str, object]] = None):
+        self.path = path
+        self.name = name
+        self._started = time.perf_counter()
+        self._jobs = 0
+        self._errors = 0
+        self._hits = 0
+        self._job_wall_s = 0.0
+        self._closed = False
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "w")
+        self._write({
+            "record": "header",
+            "run": name,
+            "created": datetime.datetime.now().isoformat(timespec="seconds"),
+            "meta": meta or {},
+        })
+
+    # ------------------------------------------------------------------
+    def record(self, outcome: JobResult) -> None:
+        """Append one job record."""
+        self._jobs += 1
+        self._job_wall_s += outcome.wall_time_s
+        if outcome.cache_status == "hit":
+            self._hits += 1
+        entry: Dict[str, object] = {
+            "record": "job",
+            "key": outcome.spec.cache_key(),
+            "spec": outcome.spec.to_dict(),
+            "cache": outcome.cache_status,
+            "wall_time_s": outcome.wall_time_s,
+        }
+        if outcome.ok:
+            entry["status"] = "ok"
+            entry["metrics"] = job_metrics(outcome.result)
+        else:
+            self._errors += 1
+            entry["status"] = "error"
+            entry["error"] = outcome.error
+        self._write(entry)
+
+    def record_all(self, outcomes: List[JobResult]) -> None:
+        for outcome in outcomes:
+            self.record(outcome)
+
+    def close(self, cache_stats: Optional[CacheStats] = None) -> None:
+        """Append the summary record and close the file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        summary: Dict[str, object] = {
+            "record": "summary",
+            "run": self.name,
+            "jobs": self._jobs,
+            "errors": self._errors,
+            "cache_hits": self._hits,
+            "cache_hit_rate": self._hits / self._jobs if self._jobs else 0.0,
+            "job_wall_time_s": self._job_wall_s,
+            "elapsed_s": time.perf_counter() - self._started,
+        }
+        if cache_stats is not None:
+            summary["cache"] = cache_stats.as_dict()
+        self._write(summary)
+        self._handle.close()
+
+    def __enter__(self) -> "RunArtifact":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _write(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+
+def read_artifact(path: str) -> List[Dict[str, object]]:
+    """Load every record of a JSONL artifact (tests and tooling)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# Re-exported so artifact consumers can round-trip full results without
+# importing the cache module.
+__all__ = [
+    "RunArtifact",
+    "default_artifact_path",
+    "job_metrics",
+    "read_artifact",
+    "simulation_result_to_dict",
+]

@@ -1,0 +1,178 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Entries are keyed by :meth:`repro.harness.jobs.JobSpec.cache_key` -- a
+hash of every knob that determines the result plus the library base
+seed -- and stored as standalone JSON files under
+``~/.cache/repro/objects`` (overridable via ``--cache-dir`` or the
+``REPRO_CACHE_DIR`` environment variable).  Because a key is a pure
+function of the inputs, there is no invalidation protocol to get wrong:
+changing any knob simply addresses a different object.  Entries whose
+recorded schema or key disagree with what the current code computes
+(e.g. after a :data:`~repro.harness.jobs.SCHEMA_VERSION` bump) are
+deleted on read and counted as invalidations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.analysis.energy import EnergyBreakdown
+from repro.cpu.multicore import CoreResult
+from repro.cpu.simulator import SimulationResult
+from repro.harness.jobs import SCHEMA_VERSION, JobSpec
+
+#: Default cache root; ``REPRO_CACHE_DIR`` overrides it.
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro")
+
+
+def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
+    """Pick the cache root: explicit argument > env var > default."""
+    path = cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return os.path.expanduser(path)
+
+
+def simulation_result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Flatten a :class:`SimulationResult` into JSON-safe primitives."""
+    return {
+        "design_name": result.design_name,
+        "cores": [dataclasses.asdict(core) for core in result.cores],
+        "elapsed_ns": result.elapsed_ns,
+        "mean_l3_latency_cycles": result.mean_l3_latency_cycles,
+        "energy": dataclasses.asdict(result.energy),
+        "stats": dict(result.stats),
+    }
+
+
+def simulation_result_from_dict(data: Dict[str, object]) -> SimulationResult:
+    """Inverse of :func:`simulation_result_to_dict`."""
+    return SimulationResult(
+        design_name=data["design_name"],
+        cores=[CoreResult(**core) for core in data["cores"]],
+        elapsed_ns=data["elapsed_ns"],
+        mean_l3_latency_cycles=data["mean_l3_latency_cycles"],
+        energy=EnergyBreakdown(**data["energy"]),
+        stats=dict(data["stats"]),
+    )
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store/invalidation accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self) | {"hit_rate": self.hit_rate}
+
+
+class ResultCache:
+    """Maps :class:`JobSpec` -> :class:`SimulationResult` on disk."""
+
+    def __init__(self, cache_dir: Optional[str] = None, enabled: bool = True):
+        self.cache_dir = resolve_cache_dir(cache_dir)
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    @property
+    def objects_dir(self) -> str:
+        return os.path.join(self.cache_dir, "objects")
+
+    def entry_path(self, spec: JobSpec) -> str:
+        key = spec.cache_key()
+        # Shard by key prefix so huge sweeps don't pile thousands of
+        # files into one directory.
+        return os.path.join(self.objects_dir, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, spec: JobSpec) -> Optional[SimulationResult]:
+        """Return the cached result for ``spec``, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        path = self.entry_path(spec)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self._invalidate(path)
+            return None
+        if (entry.get("schema") != SCHEMA_VERSION
+                or entry.get("key") != spec.cache_key()):
+            self._invalidate(path)
+            return None
+        try:
+            result = simulation_result_from_dict(entry["result"])
+        except (KeyError, TypeError):
+            self._invalidate(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: JobSpec, result: SimulationResult,
+            wall_time_s: float = 0.0) -> str:
+        """Store ``result`` under ``spec``'s key; returns the entry path."""
+        path = self.entry_path(spec)
+        if not self.enabled:
+            return path
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": spec.cache_key(),
+            "spec": spec.to_dict(),
+            "wall_time_s": wall_time_s,
+            "result": simulation_result_to_dict(result),
+        }
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # Write-then-rename so a crashed run never leaves a torn entry
+        # that a later invocation would have to invalidate.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached object; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.objects_dir):
+            return removed
+        for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+            for filename in filenames:
+                if filename.endswith(".json"):
+                    os.unlink(os.path.join(dirpath, filename))
+                    removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    def _invalidate(self, path: str) -> None:
+        self.stats.invalidated += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

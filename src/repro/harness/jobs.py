@@ -1,0 +1,226 @@
+"""Declarative job specifications: one :class:`JobSpec` per simulation point.
+
+A job spec captures *everything* that determines one ``Simulator.run``
+call -- the design name, the workload binding recipe (program/mix name,
+trace length, thread count), every config knob the experiment runners
+vary, the warmup split, and the RNG base seed.  Because trace generation
+is itself deterministic given those inputs (see :mod:`repro.common.rng`),
+a spec can be executed in any process, in any order, and always yields
+bit-identical metrics.  That property is what lets the runner fan jobs
+out to worker processes and the cache replay results across invocations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+from repro.common import rng
+from repro.common.config import SystemConfig, default_system
+from repro.common.errors import ConfigurationError
+from repro.cpu.multicore import BoundTrace
+from repro.cpu.simulator import SimulationResult, Simulator
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.mixes import MIXES, mix_traces
+from repro.workloads.parsec import PARSEC_PROFILES, parsec_thread_traces
+from repro.workloads.spec import SPEC_PROFILES, spec_profile
+
+#: Bump whenever the meaning of a cached result changes (new metrics,
+#: different warmup semantics, ...).  Old cache entries then read back
+#: with a stale schema and are invalidated instead of silently reused.
+SCHEMA_VERSION = 1
+
+#: Recognised workload binding recipes.
+WORKLOAD_KINDS = ("spec", "mix", "parsec")
+
+
+def infer_workload_kind(workload: str) -> str:
+    """Classify a workload name into one of :data:`WORKLOAD_KINDS`."""
+    if workload in MIXES:
+        return "mix"
+    if workload in SPEC_PROFILES:
+        return "spec"
+    if workload in PARSEC_PROFILES:
+        return "parsec"
+    raise ConfigurationError(
+        f"unknown workload {workload!r}; see `repro workloads`"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """Everything that determines one simulation point.
+
+    Instances are frozen and hashable so they can serve directly as
+    dictionary keys and as the input to the content-addressed result
+    cache.  ``workload_kind`` may be left empty and is then inferred
+    from the workload name.
+    """
+
+    design: str
+    workload: str
+    workload_kind: str = ""
+    accesses: int = 100_000
+    cache_megabytes: int = 1024
+    num_cores: int = 1
+    replacement: str = "fifo"
+    capacity_scale: int = 64
+    warmup_fraction: float = 0.25
+    #: Thread count for parsec workloads (ignored otherwise).
+    parsec_threads: int = 4
+    #: When set, pages with fewer than this many accesses in the trace
+    #: are flagged non-cacheable before the run (the Figure 13 study).
+    nc_threshold: Optional[int] = None
+    #: RNG base seed; ``None`` means the library default
+    #: (:data:`repro.common.rng.BASE_SEED`) in effect at execution time.
+    base_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.workload_kind:
+            object.__setattr__(
+                self, "workload_kind", infer_workload_kind(self.workload)
+            )
+        elif self.workload_kind not in WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"unknown workload kind {self.workload_kind!r}; "
+                f"expected one of {WORKLOAD_KINDS}"
+            )
+        if self.accesses <= 0:
+            raise ConfigurationError("accesses must be positive")
+        if not (0.0 <= self.warmup_fraction < 1.0):
+            raise ConfigurationError("warmup_fraction must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for progress lines."""
+        return f"{self.design}/{self.workload}@{self.cache_megabytes}MB"
+
+    @property
+    def effective_seed(self) -> int:
+        """The RNG base seed this job runs under."""
+        return self.base_seed if self.base_seed is not None else rng.BASE_SEED
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def cache_key(self) -> str:
+        """Stable content hash of this spec plus the effective base seed.
+
+        Any change to a config knob, the workload recipe, the warmup
+        split, the library base seed, or :data:`SCHEMA_VERSION` yields a
+        different key, so stale results can never be replayed.
+        """
+        payload = self.to_dict()
+        payload["base_seed"] = self.effective_seed
+        payload["schema"] = SCHEMA_VERSION
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        """Build the machine configuration this job simulates."""
+        return default_system(
+            cache_megabytes=self.cache_megabytes,
+            num_cores=self.num_cores,
+            replacement=self.replacement,
+            capacity_scale=self.capacity_scale,
+        )
+
+    def bindings(self) -> List[BoundTrace]:
+        """Generate the per-core trace bindings this spec describes."""
+        if self.workload_kind == "mix":
+            traces = mix_traces(
+                self.workload,
+                accesses_per_program=self.accesses,
+                capacity_scale=self.capacity_scale,
+            )
+            return [
+                BoundTrace(core_id=i, process_id=i, trace=trace)
+                for i, trace in enumerate(traces)
+            ]
+        if self.workload_kind == "parsec":
+            traces = parsec_thread_traces(
+                self.workload,
+                num_threads=self.parsec_threads,
+                accesses_per_thread=self.accesses,
+                capacity_scale=self.capacity_scale,
+            )
+            # One shared address space: every thread binds to process 0.
+            return [
+                BoundTrace(core_id=i, process_id=0, trace=trace)
+                for i, trace in enumerate(traces)
+            ]
+        generator = TraceGenerator(
+            spec_profile(self.workload), capacity_scale=self.capacity_scale
+        )
+        return [
+            BoundTrace(core_id=0, process_id=0,
+                       trace=generator.generate(self.accesses))
+        ]
+
+
+def execute_job(spec: JobSpec) -> SimulationResult:
+    """Run one spec to completion and return its simulation result.
+
+    This is the function worker processes call; everything it needs is
+    reconstructed from the spec, so no simulator state ever crosses a
+    process boundary.
+    """
+    previous_seed = rng.BASE_SEED
+    override = spec.base_seed is not None and spec.base_seed != previous_seed
+    if override:
+        rng.BASE_SEED = spec.base_seed
+    try:
+        bindings = spec.bindings()
+        non_cacheable = None
+        if spec.nc_threshold is not None:
+            # Accumulate counts per address space: threads of a parsec
+            # run share process 0, so their counts must merge before the
+            # threshold is applied.
+            per_process: Dict[int, Dict[int, int]] = {}
+            for binding in bindings:
+                counts = per_process.setdefault(binding.process_id, {})
+                for page, count in binding.trace.page_access_counts().items():
+                    counts[page] = counts.get(page, 0) + count
+            non_cacheable = {
+                process_id: [
+                    page for page, count in counts.items()
+                    if count < spec.nc_threshold
+                ]
+                for process_id, counts in per_process.items()
+            }
+        simulator = Simulator(spec.system_config())
+        return simulator.run(
+            spec.design,
+            bindings,
+            non_cacheable=non_cacheable,
+            warmup_fraction=spec.warmup_fraction,
+        )
+    finally:
+        if override:
+            rng.BASE_SEED = previous_seed
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Outcome of one job: a result, or a captured error, never both."""
+
+    spec: JobSpec
+    result: Optional[SimulationResult]
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+    #: "hit" (served from cache), "miss" (computed, then stored when a
+    #: cache is attached) or "off" (no cache in play).
+    cache_status: str = "off"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None

@@ -1,0 +1,79 @@
+"""Lightweight progress/telemetry reporting for harness runs.
+
+One line per completed job on ``stderr`` (so stdout stays reserved for
+the paper-style tables, byte-identical whether or not a reporter is
+attached) plus an end-of-run summary with cache accounting.  Everything
+degrades to a no-op when ``enabled=False``, which is what the test
+suite uses.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+from repro.harness.cache import CacheStats
+from repro.harness.jobs import JobResult
+
+
+class ProgressReporter:
+    """Prints ``[k/N] design/workload status`` lines as jobs finish."""
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        stream: Optional[IO[str]] = None,
+        label: str = "sweep",
+        enabled: bool = True,
+    ):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.enabled = enabled
+        self.done = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def job_done(self, outcome: JobResult) -> None:
+        """Record (and print) one finished job."""
+        self.done += 1
+        if not outcome.ok:
+            self.errors += 1
+        if outcome.cache_status == "hit":
+            self.cache_hits += 1
+        if not self.enabled:
+            return
+        total = str(self.total) if self.total is not None else "?"
+        status = "ok" if outcome.ok else f"ERROR {outcome.error}"
+        cache_note = ""
+        if outcome.cache_status != "off":
+            cache_note = f", cache {outcome.cache_status}"
+        self._emit(
+            f"[{self.done}/{total}] {outcome.spec.label} {status} "
+            f"({outcome.wall_time_s:.2f}s{cache_note})"
+        )
+
+    def summary(self, cache_stats: Optional[CacheStats] = None) -> str:
+        """Build (and print) the end-of-run summary line."""
+        elapsed = time.perf_counter() - self._started
+        parts = [
+            f"{self.label}: {self.done} jobs",
+            f"{self.errors} errors",
+            f"{elapsed:.2f}s wall",
+        ]
+        if cache_stats is not None and cache_stats.lookups:
+            parts.append(
+                f"cache {cache_stats.hits}/{cache_stats.lookups} hits "
+                f"({100.0 * cache_stats.hit_rate:.0f}%)"
+            )
+        text = ", ".join(parts)
+        if self.enabled:
+            self._emit(text)
+        return text
+
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,179 @@
+"""Job execution: parallel fan-out with a deterministic serial fallback.
+
+:func:`run_jobs` takes an ordered list of :class:`JobSpec` and returns
+one :class:`JobResult` per spec **in the same order**, regardless of
+completion order.  ``jobs=1`` executes in-process (no pool, no pickling
+-- the debuggable reference path); ``jobs>1`` fans misses out to a
+``ProcessPoolExecutor``.  Because every job is reconstructed from its
+spec inside the worker, parallel and serial runs produce bit-identical
+metrics -- a property the test suite locks.
+
+Errors are captured *per job*: a point that raises yields a
+``JobResult`` carrying the error string while the rest of the sweep
+completes and caches normally.  Callers that need every point (the
+figure runners) raise :class:`HarnessError` on any failure; callers
+that stream artifacts (``repro sweep``) simply record the failed rows.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import dataclasses
+
+from repro.common.errors import ReproError
+from repro.cpu.simulator import SimulationResult
+from repro.harness.artifacts import RunArtifact
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobResult, JobSpec, execute_job
+
+
+class HarnessError(ReproError):
+    """One or more jobs of a sweep failed (details in the message)."""
+
+
+def _execute_captured(
+    spec: JobSpec,
+) -> Tuple[Optional[SimulationResult], Optional[str], float]:
+    """Run one spec, trapping any exception into a string.
+
+    Runs inside worker processes, so the error is stringified here --
+    arbitrary exception objects are not reliably picklable.
+    """
+    start = time.perf_counter()
+    try:
+        result = execute_job(spec)
+        return result, None, time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
+        error = f"{type(exc).__name__}: {exc}"
+        return None, error, time.perf_counter() - start
+
+
+def _pool_worker(
+    payload: Tuple[int, JobSpec],
+) -> Tuple[int, Optional[SimulationResult], Optional[str], float]:
+    index, spec = payload
+    result, error, wall = _execute_captured(spec)
+    return index, result, error, wall
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress=None,
+    artifact: Optional[RunArtifact] = None,
+) -> List[JobResult]:
+    """Execute ``specs`` and return their outcomes in input order.
+
+    Cache hits are resolved up front in the parent process (they never
+    occupy a worker); only misses are dispatched.  Each completed job is
+    reported to ``progress`` and ``artifact`` as it lands, and stored in
+    the cache on success.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    outcomes: List[Optional[JobResult]] = [None] * len(specs)
+    pending: List[Tuple[int, JobSpec]] = []
+
+    cache_status = "off" if cache is None else "miss"
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            start = time.perf_counter()
+            result = cache.get(spec)
+            if result is not None:
+                outcomes[index] = JobResult(
+                    spec=spec,
+                    result=result,
+                    wall_time_s=time.perf_counter() - start,
+                    cache_status="hit",
+                )
+                _report(outcomes[index], progress, artifact)
+                continue
+        pending.append((index, spec))
+
+    def finish(index: int, result, error, wall) -> None:
+        spec = specs[index]
+        if cache is not None and error is None:
+            cache.put(spec, result, wall_time_s=wall)
+        outcomes[index] = JobResult(
+            spec=spec,
+            result=result,
+            error=error,
+            wall_time_s=wall,
+            cache_status=cache_status,
+        )
+        _report(outcomes[index], progress, artifact)
+
+    if jobs == 1 or len(pending) <= 1:
+        for index, spec in pending:
+            result, error, wall = _execute_captured(spec)
+            finish(index, result, error, wall)
+    else:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_pool_worker, item) for item in pending
+            }
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, result, error, wall = future.result()
+                    finish(index, result, error, wall)
+
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _report(outcome: JobResult, progress, artifact) -> None:
+    if progress is not None:
+        progress.job_done(outcome)
+    if artifact is not None:
+        artifact.record(outcome)
+
+
+@dataclasses.dataclass
+class Harness:
+    """Bundle of execution options threaded through the figure runners.
+
+    ``Harness()`` is the neutral configuration -- serial, uncached,
+    silent -- so every runner keeps its old behaviour when no harness is
+    passed.  The CLI builds one from ``--jobs`` / ``--cache-dir`` /
+    ``--no-cache``; benchmarks from ``REPRO_BENCH_JOBS`` etc.
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    progress: object = None
+    artifact: Optional[RunArtifact] = None
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        return run_jobs(
+            specs,
+            jobs=self.jobs,
+            cache=self.cache,
+            progress=self.progress,
+            artifact=self.artifact,
+        )
+
+    def run_strict(
+        self, specs: Sequence[JobSpec]
+    ) -> List[SimulationResult]:
+        """Run specs and raise :class:`HarnessError` if any point failed.
+
+        The figure runners need *every* point to render their tables,
+        but by running the whole sweep first (and caching the good
+        points) a retry after a fix only recomputes the failures.
+        """
+        outcomes = self.run(specs)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            detail = "; ".join(
+                f"{o.spec.label}: {o.error}" for o in failures[:5]
+            )
+            more = "" if len(failures) <= 5 else f" (+{len(failures) - 5} more)"
+            raise HarnessError(
+                f"{len(failures)}/{len(outcomes)} jobs failed: {detail}{more}"
+            )
+        return [o.result for o in outcomes]

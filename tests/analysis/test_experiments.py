@@ -77,3 +77,49 @@ def test_noncacheable_runner():
     assert result.baseline.ipc_sum > 0
     assert result.with_nc.ipc_sum > 0
     assert "Figure 13" in result.table()
+
+
+def test_harness_dispatch_matches_serial(tmp_path):
+    from repro.harness import Harness, ResultCache
+
+    kwargs = dict(programs=("sphinx3",), designs=("no-l3", "tagless"),
+                  accesses=3_000)
+    serial = ex.run_single_programmed(**kwargs)
+    cache = ResultCache(str(tmp_path))
+    parallel = ex.run_single_programmed(
+        **kwargs, harness=Harness(jobs=2, cache=cache)
+    )
+    assert serial.ipc_table() == parallel.ipc_table()
+    assert serial.edp_table() == parallel.edp_table()
+    # A warm rerun replays every point from the cache, same tables.
+    warm = ex.run_single_programmed(
+        **kwargs, harness=Harness(jobs=1, cache=cache)
+    )
+    assert warm.ipc_table() == serial.ipc_table()
+    assert cache.stats.hits == 2
+
+
+def test_failed_point_reports_harness_error():
+    from repro.harness import HarnessError
+
+    with pytest.raises(HarnessError):
+        ex.run_single_programmed(
+            programs=("sphinx3",), designs=("no-l3", "bogus"),
+            accesses=2_000,
+        )
+
+
+def test_result_objects_serialize_to_dict(tiny_single):
+    data = tiny_single.to_dict()
+    assert data["programs"] == ["sphinx3", "libquantum"]
+    assert data["normalized_ipc"]["sphinx3"]["no-l3"] == pytest.approx(1.0)
+    assert set(data["geomean_ipc"]) == set(tiny_single.designs)
+    import json
+    json.dumps(data)  # must be JSON-clean
+
+    mix = ex.run_multi_programmed(
+        mixes=("MIX1",), designs=("no-l3", "tagless"), accesses=4_000
+    )
+    assert mix.to_dict()["normalized_ipc"]["MIX1"]["no-l3"] == (
+        pytest.approx(1.0)
+    )

@@ -83,3 +83,90 @@ def test_parser_rejects_unknown_design():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_design_choices_cover_whole_registry():
+    from repro.designs.registry import ALL_DESIGN_NAMES
+
+    args = build_parser().parse_args(["run", "alloy", "sphinx3"])
+    assert args.design == "alloy"
+    assert "alloy" in ALL_DESIGN_NAMES
+
+
+def test_run_warmup_flag_threads_through(capsys):
+    code, out = run_cli(
+        capsys, "run", "tagless", "sphinx3",
+        "--accesses", "3000", "--warmup", "0.5", "--json",
+    )
+    assert code == 0
+    metrics = json.loads(out)
+    assert metrics["warmup_fraction"] == 0.5
+    # A different warmup split measures a different trace slice.
+    _, out0 = run_cli(
+        capsys, "run", "tagless", "sphinx3",
+        "--accesses", "3000", "--warmup", "0.0", "--json",
+    )
+    assert json.loads(out0)["ipc"] != metrics["ipc"]
+
+
+def test_run_rejects_invalid_warmup(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "tagless", "sphinx3", "--warmup", "1.0"])
+
+
+def test_experiment_json_output(tmp_path, capsys):
+    code, out = run_cli(
+        capsys, "experiment", "fig13", "--accesses", "15000", "--json",
+        "--no-cache", "--artifact", str(tmp_path / "a.jsonl"),
+    )
+    assert code == 0
+    data = json.loads(out)
+    assert data["baseline_ipc"] > 0
+    assert data["threshold"] == 32
+
+
+def test_experiment_caches_between_invocations(tmp_path, capsys):
+    from repro.harness import read_artifact
+
+    argv = ["experiment", "fig13", "--accesses", "15000",
+            "--cache-dir", str(tmp_path / "cache")]
+    cold_code, cold_out = run_cli(
+        capsys, *argv, "--artifact", str(tmp_path / "cold.jsonl")
+    )
+    warm_code, warm_out = run_cli(
+        capsys, *argv, "--artifact", str(tmp_path / "warm.jsonl")
+    )
+    assert cold_code == warm_code == 0
+    assert cold_out == warm_out  # byte-identical tables
+    warm_summary = [
+        r for r in read_artifact(str(tmp_path / "warm.jsonl"))
+        if r["record"] == "summary"
+    ][0]
+    assert warm_summary["cache_hit_rate"] == 1.0
+
+
+def test_sweep_writes_jsonl_artifact(tmp_path, capsys):
+    from repro.harness import read_artifact
+
+    out_path = str(tmp_path / "sweep.jsonl")
+    code, out = run_cli(
+        capsys, "sweep", "--designs", "no-l3", "tagless",
+        "--workloads", "sphinx3", "--cache-sizes", "512", "1024",
+        "--accesses", "2000", "--out", out_path, "--no-cache", "--json",
+    )
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["jobs"] == 4
+    assert summary["errors"] == 0
+    jobs = [
+        r for r in read_artifact(out_path) if r["record"] == "job"
+    ]
+    assert len(jobs) == 4
+    assert {j["spec"]["cache_megabytes"] for j in jobs} == {512, 1024}
+    assert all(j["metrics"]["ipc"] > 0 for j in jobs)
+
+
+def test_sweep_rejects_unknown_workload(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--workloads", "not-a-program",
+              "--out", str(tmp_path / "x.jsonl"), "--no-cache"])

@@ -1,0 +1,92 @@
+"""Artifact and progress-reporter tests."""
+
+import io
+
+from repro.harness.artifacts import (
+    RunArtifact,
+    default_artifact_path,
+    job_metrics,
+    read_artifact,
+)
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobSpec
+from repro.harness.progress import ProgressReporter
+from repro.harness.runner import run_jobs
+
+SPECS = [
+    JobSpec(design="no-l3", workload="sphinx3", accesses=2_000),
+    JobSpec(design="no-such-design", workload="sphinx3", accesses=2_000),
+]
+
+
+def test_artifact_records_jobs_and_summary(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    with RunArtifact(path, name="unit", meta={"note": "test"}) as artifact:
+        run_jobs(SPECS, jobs=1, artifact=artifact)
+    records = read_artifact(path)
+    assert [r["record"] for r in records] == [
+        "header", "job", "job", "summary"
+    ]
+    header, ok_job, bad_job, summary = records
+    assert header["meta"] == {"note": "test"}
+    assert ok_job["status"] == "ok"
+    assert ok_job["spec"]["design"] == "no-l3"
+    assert ok_job["metrics"]["ipc"] > 0
+    assert bad_job["status"] == "error"
+    assert "no-such-design" in bad_job["error"]
+    assert summary["jobs"] == 2
+    assert summary["errors"] == 1
+
+
+def test_artifact_shows_warm_run_hits(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    spec = SPECS[:1]
+    run_jobs(spec, jobs=1, cache=cache)
+    path = str(tmp_path / "warm.jsonl")
+    with RunArtifact(path, name="warm") as artifact:
+        run_jobs(spec, jobs=1, cache=cache, artifact=artifact)
+        artifact.close(cache.stats)
+    records = read_artifact(path)
+    job = [r for r in records if r["record"] == "job"][0]
+    summary = [r for r in records if r["record"] == "summary"][0]
+    assert job["cache"] == "hit"
+    assert summary["cache_hit_rate"] == 1.0
+    assert summary["cache"]["hits"] == 1
+
+
+def test_job_metrics_fields():
+    outcome = run_jobs(SPECS[:1], jobs=1)[0]
+    metrics = job_metrics(outcome.result)
+    assert set(metrics) == {
+        "ipc", "per_core_ipc", "instructions", "elapsed_ms",
+        "mean_l3_latency_cycles", "energy_j", "edp_js",
+    }
+
+
+def test_default_artifact_path_is_unique(tmp_path):
+    first = default_artifact_path(str(tmp_path), "fig7")
+    second = default_artifact_path(str(tmp_path), "fig7")
+    assert first != second
+    assert first.startswith(str(tmp_path))
+    assert first.endswith(".jsonl")
+
+
+def test_progress_reporter_lines_and_summary():
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=2, stream=stream, label="unit")
+    for outcome in run_jobs(SPECS, jobs=1, progress=reporter):
+        pass
+    text = stream.getvalue()
+    assert "[1/2] no-l3/sphinx3@1024MB ok" in text
+    assert "ERROR" in text
+    summary = reporter.summary()
+    assert "2 jobs" in summary and "1 errors" in summary
+
+
+def test_progress_reporter_disabled_is_silent():
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=1, stream=stream, enabled=False)
+    run_jobs(SPECS[:1], jobs=1, progress=reporter)
+    reporter.summary()
+    assert stream.getvalue() == ""
+    assert reporter.done == 1

@@ -1,0 +1,110 @@
+"""Result-cache tests: round-trips, accounting, invalidation."""
+
+import json
+import os
+
+from repro.harness import cache as cache_mod
+from repro.harness.cache import (
+    ResultCache,
+    simulation_result_from_dict,
+    simulation_result_to_dict,
+)
+from repro.harness.jobs import JobSpec, execute_job
+
+SPEC = JobSpec(design="tagless", workload="sphinx3", accesses=2_000)
+
+
+def test_simulation_result_round_trip():
+    result = execute_job(SPEC)
+    clone = simulation_result_from_dict(simulation_result_to_dict(result))
+    assert clone.ipc_sum == result.ipc_sum
+    assert clone.edp == result.edp
+    assert clone.mean_l3_latency_cycles == result.mean_l3_latency_cycles
+    assert clone.stats == result.stats
+    assert [c.ipc for c in clone.cores] == [c.ipc for c in result.cores]
+
+
+def test_get_put_and_accounting(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert cache.get(SPEC) is None
+    result = execute_job(SPEC)
+    path = cache.put(SPEC, result, wall_time_s=1.0)
+    assert os.path.exists(path)
+    replayed = cache.get(SPEC)
+    assert replayed is not None
+    assert replayed.ipc_sum == result.ipc_sum
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_disabled_cache_is_inert(tmp_path):
+    cache = ResultCache(str(tmp_path), enabled=False)
+    result = execute_job(SPEC)
+    cache.put(SPEC, result)
+    assert cache.get(SPEC) is None
+    assert not os.path.exists(cache.entry_path(SPEC))
+    assert cache.stats.lookups == 0
+
+
+def test_corrupt_entry_is_invalidated(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(SPEC, execute_job(SPEC))
+    path = cache.entry_path(SPEC)
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    assert cache.get(SPEC) is None
+    assert cache.stats.invalidated == 1
+    assert not os.path.exists(path)
+
+
+def test_schema_bump_invalidates_entry(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path))
+    cache.put(SPEC, execute_job(SPEC))
+    path = cache.entry_path(SPEC)
+    with open(path) as handle:
+        entry = json.load(handle)
+    entry["schema"] = -1
+    with open(path, "w") as handle:
+        json.dump(entry, handle)
+    assert cache.get(SPEC) is None
+    assert cache.stats.invalidated == 1
+
+
+def test_knob_change_addresses_a_different_entry(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(SPEC, execute_job(SPEC))
+    import dataclasses
+    other = dataclasses.replace(SPEC, warmup_fraction=0.5)
+    assert cache.get(other) is None  # different key -> miss, no hit
+    assert cache.stats.misses == 1
+
+
+def test_base_seed_change_misses(tmp_path, monkeypatch):
+    from repro.common import rng
+
+    cache = ResultCache(str(tmp_path))
+    cache.put(SPEC, execute_job(SPEC))
+    monkeypatch.setattr(rng, "BASE_SEED", rng.BASE_SEED + 1)
+    assert cache.get(SPEC) is None
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(SPEC, execute_job(SPEC))
+    assert cache.clear() == 1
+    assert cache.get(SPEC) is None
+
+
+def test_env_var_picks_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    cache = ResultCache()
+    assert cache.cache_dir == str(tmp_path / "envcache")
+    # Explicit argument wins over the environment.
+    explicit = ResultCache(str(tmp_path / "explicit"))
+    assert explicit.cache_dir == str(tmp_path / "explicit")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert cache_mod.resolve_cache_dir().startswith(
+        os.path.expanduser("~")
+    )

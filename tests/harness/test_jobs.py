@@ -1,0 +1,121 @@
+"""JobSpec tests: inference, validation, hashing, execution."""
+
+import dataclasses
+
+import pytest
+
+from repro.common import rng
+from repro.common.errors import ConfigurationError
+from repro.harness.jobs import JobSpec, execute_job, infer_workload_kind
+
+
+def test_workload_kind_inference():
+    assert infer_workload_kind("sphinx3") == "spec"
+    assert infer_workload_kind("MIX3") == "mix"
+    assert infer_workload_kind("streamcluster") == "parsec"
+    assert JobSpec(design="tagless", workload="MIX1").workload_kind == "mix"
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigurationError):
+        JobSpec(design="tagless", workload="not-a-program")
+    with pytest.raises(ConfigurationError):
+        JobSpec(design="tagless", workload="sphinx3", workload_kind="magic")
+
+
+def test_invalid_knobs_rejected():
+    with pytest.raises(ConfigurationError):
+        JobSpec(design="tagless", workload="sphinx3", accesses=0)
+    with pytest.raises(ConfigurationError):
+        JobSpec(design="tagless", workload="sphinx3", warmup_fraction=1.0)
+
+
+def test_spec_is_hashable_and_round_trips():
+    spec = JobSpec(design="sram", workload="MIX2", accesses=5_000,
+                   cache_megabytes=512, num_cores=4)
+    assert hash(spec) == hash(JobSpec.from_dict(spec.to_dict()))
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+    assert spec.label == "sram/MIX2@512MB"
+
+
+def test_cache_key_stable_across_instances():
+    make = lambda: JobSpec(design="tagless", workload="sphinx3",
+                           accesses=4_000, warmup_fraction=0.25)
+    assert make().cache_key() == make().cache_key()
+
+
+@pytest.mark.parametrize("change", [
+    {"design": "sram"},
+    {"workload": "mcf"},
+    {"accesses": 4_001},
+    {"cache_megabytes": 512},
+    {"replacement": "lru"},
+    {"capacity_scale": 128},
+    {"warmup_fraction": 0.5},
+    {"nc_threshold": 32},
+    {"base_seed": 1234},
+])
+def test_cache_key_changes_with_any_knob(change):
+    base = JobSpec(design="tagless", workload="sphinx3", accesses=4_000)
+    changed = dataclasses.replace(base, **change)
+    assert base.cache_key() != changed.cache_key()
+
+
+def test_cache_key_tracks_library_base_seed(monkeypatch):
+    spec = JobSpec(design="tagless", workload="sphinx3", accesses=4_000)
+    before = spec.cache_key()
+    monkeypatch.setattr(rng, "BASE_SEED", rng.BASE_SEED + 1)
+    assert spec.cache_key() != before
+
+
+def test_explicit_base_seed_pins_the_key(monkeypatch):
+    spec = JobSpec(design="tagless", workload="sphinx3", accesses=4_000,
+                   base_seed=7)
+    before = spec.cache_key()
+    monkeypatch.setattr(rng, "BASE_SEED", rng.BASE_SEED + 1)
+    assert spec.cache_key() == before
+
+
+def test_bindings_follow_workload_kind():
+    single = JobSpec(design="tagless", workload="sphinx3", accesses=2_000)
+    assert len(single.bindings()) == 1
+    mix = JobSpec(design="tagless", workload="MIX1", accesses=2_000,
+                  num_cores=4)
+    mix_bindings = mix.bindings()
+    assert len(mix_bindings) == 4
+    assert {b.process_id for b in mix_bindings} == {0, 1, 2, 3}
+    parsec = JobSpec(design="tagless", workload="streamcluster",
+                     accesses=2_000, num_cores=4)
+    parsec_bindings = parsec.bindings()
+    assert len(parsec_bindings) == 4
+    # Threads share one address space.
+    assert {b.process_id for b in parsec_bindings} == {0}
+
+
+def test_execute_job_produces_metrics():
+    spec = JobSpec(design="tagless", workload="sphinx3", accesses=3_000)
+    result = execute_job(spec)
+    assert result.design_name == "tagless"
+    assert result.ipc_sum > 0
+    assert result.total_energy_j > 0
+
+
+def test_execute_job_nc_threshold_changes_outcome():
+    base = JobSpec(design="tagless", workload="GemsFDTD", accesses=8_000)
+    flagged = dataclasses.replace(base, nc_threshold=32)
+    plain = execute_job(base)
+    with_nc = execute_job(flagged)
+    assert plain.ipc_sum != with_nc.ipc_sum
+
+
+def test_execute_job_restores_overridden_seed():
+    spec = JobSpec(design="tagless", workload="sphinx3", accesses=2_000,
+                   base_seed=99)
+    before = rng.BASE_SEED
+    default = execute_job(
+        JobSpec(design="tagless", workload="sphinx3", accesses=2_000)
+    )
+    reseeded = execute_job(spec)
+    assert rng.BASE_SEED == before
+    # A different base seed re-rolls the trace, so metrics move.
+    assert reseeded.ipc_sum != default.ipc_sum

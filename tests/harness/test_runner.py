@@ -1,0 +1,81 @@
+"""Runner tests: parallel/serial equivalence, error capture, ordering."""
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import JobSpec
+from repro.harness.runner import Harness, HarnessError, run_jobs
+
+SPECS = [
+    JobSpec(design="no-l3", workload="sphinx3", accesses=2_000),
+    JobSpec(design="sram", workload="sphinx3", accesses=2_000),
+    JobSpec(design="tagless", workload="sphinx3", accesses=2_000),
+    JobSpec(design="tagless", workload="libquantum", accesses=2_000),
+]
+
+
+def _metrics(outcomes):
+    return [
+        (o.result.ipc_sum, o.result.edp, o.result.mean_l3_latency_cycles)
+        for o in outcomes
+    ]
+
+
+def test_parallel_matches_serial_exactly():
+    serial = run_jobs(SPECS, jobs=1)
+    parallel = run_jobs(SPECS, jobs=4)
+    assert all(o.ok for o in serial)
+    assert _metrics(serial) == _metrics(parallel)
+    # Outcomes come back in input order regardless of completion order.
+    assert [o.spec for o in parallel] == list(SPECS)
+
+
+def test_failed_job_does_not_kill_the_sweep():
+    bad = JobSpec(design="no-such-design", workload="sphinx3",
+                  accesses=2_000)
+    specs = [SPECS[0], bad, SPECS[2]]
+    outcomes = run_jobs(specs, jobs=1)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    assert "no-such-design" in outcomes[1].error
+    assert outcomes[1].result is None
+
+
+def test_failed_job_captured_in_parallel_mode():
+    bad = JobSpec(design="no-such-design", workload="sphinx3",
+                  accesses=2_000)
+    outcomes = run_jobs([SPECS[0], bad, SPECS[2]], jobs=3)
+    assert [o.ok for o in outcomes] == [True, False, True]
+
+
+def test_run_strict_raises_with_failure_details():
+    bad = JobSpec(design="no-such-design", workload="sphinx3",
+                  accesses=2_000)
+    harness = Harness()
+    with pytest.raises(HarnessError) as excinfo:
+        harness.run_strict([SPECS[0], bad])
+    assert "no-such-design" in str(excinfo.value)
+    assert "1/2" in str(excinfo.value)
+
+
+def test_rejects_nonpositive_jobs():
+    with pytest.raises(ValueError):
+        run_jobs(SPECS, jobs=0)
+
+
+def test_cache_hits_skip_execution(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cold = run_jobs(SPECS[:2], jobs=1, cache=cache)
+    warm = run_jobs(SPECS[:2], jobs=1, cache=cache)
+    assert [o.cache_status for o in cold] == ["miss", "miss"]
+    assert [o.cache_status for o in warm] == ["hit", "hit"]
+    assert _metrics(cold) == _metrics(warm)
+    assert cache.stats.hits == 2
+    assert cache.stats.stores == 2
+
+
+def test_parallel_warm_run_equals_cold(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cold = run_jobs(SPECS, jobs=2, cache=cache)
+    warm = run_jobs(SPECS, jobs=2, cache=cache)
+    assert all(o.cache_status == "hit" for o in warm)
+    assert _metrics(cold) == _metrics(warm)

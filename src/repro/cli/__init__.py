@@ -7,7 +7,10 @@ Commands:
   optionally save it as ``.npz``;
 - ``run``        -- simulate one workload (or mix) on one design and
   print the headline metrics (optionally as JSON);
-- ``experiment`` -- regenerate one of the paper's figures end to end.
+- ``experiment`` -- regenerate one of the paper's figures end to end;
+- ``sweep``      -- cartesian design x workload x size sweep to JSONL;
+- ``profile``    -- cProfile one simulation run and rank the hot spots;
+- ``validate``   -- grade the paper's headline claims against this build.
 """
 
 from repro.cli.main import main

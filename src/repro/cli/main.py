@@ -116,6 +116,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the run summary as JSON")
     _add_harness_arguments(sweep)
 
+    profile = sub.add_parser(
+        "profile",
+        help="profile the simulation engine with cProfile",
+    )
+    profile.add_argument("--design", default="tagless",
+                         choices=ALL_DESIGN_NAMES)
+    profile.add_argument("--workload", default="mcf",
+                         help="SPEC/PARSEC program or MIX1..MIX8")
+    profile.add_argument("--accesses", type=int, default=100_000)
+    profile.add_argument("--cache-mb", type=int, default=1024)
+    profile.add_argument("--scale", type=int, default=64)
+    profile.add_argument("--replacement", default="fifo",
+                         choices=("fifo", "lru", "clock"))
+    profile.add_argument("--warmup", type=float, default=0.25)
+    profile.add_argument("--top", type=int, default=25,
+                         help="rows to report (default 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "ncalls"),
+                         help="ranking key (default cumulative)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+
     validate = sub.add_parser(
         "validate",
         help="grade the paper's headline claims against this build",
@@ -169,6 +191,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bindings_for(workload: str, accesses: int, scale: int) -> List[BoundTrace]:
+    """Trace bindings for a single program or a MIX (shared by run/profile)."""
+    if workload in MIXES:
+        traces = mix_traces(workload, accesses_per_program=accesses,
+                            capacity_scale=scale)
+        return [BoundTrace(i, i, t) for i, t in enumerate(traces)]
+    profile = _profile_for(workload)
+    trace = TraceGenerator(profile, capacity_scale=scale).generate(accesses)
+    return [BoundTrace(0, 0, trace)]
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if not (0.0 <= args.warmup < 1.0):
         raise SystemExit("--warmup must be in [0, 1)")
@@ -178,16 +211,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         replacement=args.replacement,
         capacity_scale=args.scale,
     )
-    if args.workload in MIXES:
-        traces = mix_traces(args.workload, accesses_per_program=args.accesses,
-                            capacity_scale=args.scale)
-        bindings = [BoundTrace(i, i, t) for i, t in enumerate(traces)]
-    else:
-        profile = _profile_for(args.workload)
-        trace = TraceGenerator(
-            profile, capacity_scale=args.scale
-        ).generate(args.accesses)
-        bindings = [BoundTrace(0, 0, trace)]
+    bindings = _bindings_for(args.workload, args.accesses, args.scale)
 
     result = Simulator(config).run(
         args.design, bindings, warmup_fraction=args.warmup
@@ -348,6 +372,94 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _short_location(filename: str, line: int) -> str:
+    """Trim profiler file paths to the repository-relative interesting part."""
+    if filename.startswith("~") or filename.startswith("<"):
+        return filename  # C builtins / exec'd code have no real path
+    marker = "src/repro/"
+    index = filename.find(marker)
+    if index >= 0:
+        filename = filename[index:]
+    return f"{filename}:{line}"
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulation run under cProfile and rank the hot spots."""
+    import cProfile
+    import pstats
+    import time
+
+    if not (0.0 <= args.warmup < 1.0):
+        raise SystemExit("--warmup must be in [0, 1)")
+    if args.top < 1:
+        raise SystemExit("--top must be >= 1")
+    config = default_system(
+        cache_megabytes=args.cache_mb,
+        num_cores=4 if args.workload in MIXES else 1,
+        replacement=args.replacement,
+        capacity_scale=args.scale,
+    )
+    bindings = _bindings_for(args.workload, args.accesses, args.scale)
+    for binding in bindings:
+        # Pay the one-time numpy->list conversion outside the profile so
+        # the report shows the steady-state engine, not trace prep.
+        binding.trace.as_lists()
+    simulator = Simulator(config)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = simulator.run(args.design, bindings,
+                           warmup_fraction=args.warmup)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in \
+            pstats.Stats(profiler).stats.items():
+        rows.append({
+            "function": func,
+            "location": _short_location(filename, line),
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": tt,
+            "cumtime_s": ct,
+        })
+    sort_key = {"cumulative": "cumtime_s", "tottime": "tottime_s",
+                "ncalls": "ncalls"}[args.sort]
+    rows.sort(key=lambda row: row[sort_key], reverse=True)
+    rows = rows[:args.top]
+
+    total_accesses = sum(len(binding.trace) for binding in bindings)
+    report = {
+        "design": args.design,
+        "workload": args.workload,
+        "accesses": total_accesses,
+        "warmup_fraction": args.warmup,
+        "seconds": elapsed,
+        "accesses_per_second": (
+            total_accesses / elapsed if elapsed > 0 else 0.0
+        ),
+        "ipc": result.ipc_sum,
+        "sort": args.sort,
+        "top": rows,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"{args.design} on {args.workload}: {total_accesses} accesses "
+          f"in {elapsed:.3f} s "
+          f"({report['accesses_per_second']:,.0f} accesses/s), "
+          f"IPC {result.ipc_sum:.3f}")
+    print(f"top {len(rows)} by {args.sort}:")
+    print(f"{'ncalls':>10s} {'tottime':>9s} {'cumtime':>9s}  function")
+    for row in rows:
+        print(f"{row['ncalls']:>10d} {row['tottime_s']:>9.3f} "
+              f"{row['cumtime_s']:>9.3f}  {row['function']} "
+              f"({row['location']})")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.analysis.validate import run_validation
 
@@ -367,6 +479,7 @@ _COMMANDS = {
     "run": cmd_run,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "profile": cmd_profile,
     "validate": cmd_validate,
 }
 

@@ -136,19 +136,29 @@ class TaglessDesign(MemorySystemDesign):
             return self.core_cfg.cycles_from_ns(latency_ns)
 
         cache_page = entry.target_page
-        if cache_page not in self.engine.gipt:
+        engine = self.engine
+        # One GIPT probe serves both the invariant check and the
+        # bookkeeping below (engine.note_access inlined).
+        gipt_entry = engine.gipt._entries.get(cache_page)
+        if gipt_entry is None:
             raise SimulationError(
                 f"cTLB maps VA page {virtual_page:#x} to CA "
                 f"{cache_page:#x} which holds no page -- the 'TLB hit "
                 "implies cache hit' invariant is broken"
             )
         self.cache_accesses += 1
-        self.engine.note_access(cache_page, is_write, line_index)
-        # Footprint caching only: a block the predictor skipped is
-        # fetched from off-package DRAM on demand (0.0 otherwise).
-        latency_ns = self.engine.ensure_line_fetched(
-            cache_page, line_index, now_ns
-        )
+        engine.victims.on_touch(cache_page)
+        gipt_entry.touched_mask |= 1 << line_index
+        if is_write:
+            gipt_entry.dirty = True
+        if engine.footprint is not None:
+            # Footprint caching only: a block the predictor skipped is
+            # fetched from off-package DRAM on demand.
+            latency_ns = engine.ensure_line_fetched(
+                cache_page, line_index, now_ns
+            )
+        else:
+            latency_ns = 0.0
         # No tag check: the cache address is final.  One in-package access.
         latency_ns += self.in_package.access_block(now_ns, cache_page, is_write)
         return self.core_cfg.cycles_from_ns(latency_ns)

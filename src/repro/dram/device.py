@@ -43,6 +43,14 @@ class DRAMDevice:
         self.demand_latency_ns = 0.0
         self._next_refresh_ns = timing.trefi_ns
         self.refreshes = 0
+        # Per-device constants of the closed-page 64 B demand path,
+        # hoisted out of access_block (the expressions match the general
+        # path exactly, so the floats are identical).
+        self._block_transfer_ns = timing.transfer_ns(CACHE_LINE_BYTES)
+        self._block_service_ns = (
+            timing.row_empty_ns(CACHE_LINE_BYTES) + timing.controller_ns
+        )
+        self._block_nj = energy.access_nj(CACHE_LINE_BYTES, 1)
 
     def _catch_up_refresh(self, now_ns: float) -> None:
         """Issue every refresh due by ``now_ns`` (tREFI cadence, tRFC
@@ -81,19 +89,44 @@ class DRAMDevice:
         as highly local) pass ``open_page=True`` to use the tracked
         row-buffer state instead.
         """
-        self._catch_up_refresh(now_ns)
+        if now_ns >= self._next_refresh_ns:
+            self._catch_up_refresh(now_ns)
         if open_page:
             service_ns, activations = self.banks.access(
                 page_number, CACHE_LINE_BYTES
             )
+            service_ns += self.timing.controller_ns
+            return self._finish_demand(
+                now_ns, page_number, CACHE_LINE_BYTES, is_write, service_ns,
+                activations,
+            )
+        # Closed-page fast path: every timing/energy quantity is a
+        # per-device constant, and the channel reservation
+        # (ChannelScheduler.occupy) is inlined verbatim.
+        channels = self.channels
+        channel = page_number % channels.num_channels
+        free_at = channels._free_at_ns
+        start = free_at[channel]
+        if start < now_ns:
+            start = now_ns
+        bg_until = channels._bg_until_ns[channel]
+        if bg_until > start:
+            start = min(bg_until, start + channels.preemption_ns)
+        queue_ns = start - now_ns
+        free_at[channel] = start + self._block_transfer_ns
+        channels.queue_ns_total += queue_ns
+        channels.requests += 1
+        energy = self.energy
+        energy.dynamic_nj += self._block_nj
+        energy.activations += 1
+        if is_write:
+            energy.write_bytes += CACHE_LINE_BYTES
         else:
-            service_ns = self.timing.row_empty_ns(CACHE_LINE_BYTES)
-            activations = 1
-        service_ns += self.timing.controller_ns
-        return self._finish_demand(
-            now_ns, page_number, CACHE_LINE_BYTES, is_write, service_ns,
-            activations,
-        )
+            energy.read_bytes += CACHE_LINE_BYTES
+        latency = queue_ns + self._block_service_ns
+        self.demand_accesses += 1
+        self.demand_latency_ns += latency
+        return latency
 
     def posted_write_block(
         self, now_ns: float, page_number: int, open_page: bool = True

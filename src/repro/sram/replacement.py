@@ -101,16 +101,27 @@ class ClockPolicy(ReplacementPolicy):
     Mentioned in Section 5.2 of the paper as the kind of LRU-like policy
     whose extra state the tagless design avoids; included here so the
     Figure 11 ablation can compare three points instead of two.
+
+    Eviction is **lazy**: ``on_evict`` only drops the key from the live
+    set (an O(n) ``deque.remove`` would dominate eviction-heavy runs);
+    the stale ring slot is discarded when the clock hand reaches it.  A
+    re-inserted key gets a fresh ring slot with a new version number so
+    its stale older slot cannot masquerade as the live one -- the hand
+    therefore visits keys in exactly the order eager removal would
+    produce.
     """
 
-    __slots__ = ("_ring", "_referenced")
+    __slots__ = ("_ring", "_referenced", "_version")
 
     def __init__(self) -> None:
-        self._ring: deque = deque()
+        self._ring: deque = deque()  # (key, version) slots, some stale
         self._referenced: dict = {}
+        self._version: dict = {}  # key -> live slot's version counter
 
     def on_insert(self, key: Hashable) -> None:
-        self._ring.append(key)
+        version = self._version.get(key, 0) + 1
+        self._version[key] = version
+        self._ring.append((key, version))
         self._referenced[key] = False
 
     def on_access(self, key: Hashable) -> None:
@@ -118,21 +129,20 @@ class ClockPolicy(ReplacementPolicy):
             self._referenced[key] = True
 
     def on_evict(self, key: Hashable) -> None:
-        del self._referenced[key]
-        try:
-            self._ring.remove(key)
-        except ValueError:
-            pass
+        del self._referenced[key]  # ring slot goes stale, dropped lazily
 
     def victim(self) -> Hashable:
+        ring = self._ring
+        referenced = self._referenced
+        version = self._version
         while True:
-            key = self._ring[0]
-            if key not in self._referenced:
-                self._ring.popleft()
+            key, slot_version = ring[0]
+            if key not in referenced or version[key] != slot_version:
+                ring.popleft()  # stale slot: evicted or re-inserted since
                 continue
-            if self._referenced[key]:
-                self._referenced[key] = False
-                self._ring.rotate(-1)
+            if referenced[key]:
+                referenced[key] = False
+                ring.rotate(-1)
                 continue
             return key
 
@@ -144,35 +154,48 @@ class ClockPolicy(ReplacementPolicy):
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Uniform-random victim selection with a seeded stream."""
+    """Uniform-random victim selection with a seeded stream.
 
-    __slots__ = ("_keys", "_rng")
+    Resident keys live in a list plus a key->slot index map, giving O(1)
+    seeded choice and O(1) removal (swap the last key into the vacated
+    slot) instead of the former O(n) enumeration scan per victim.  The
+    draw stream for a given seed is unchanged; the key a given draw maps
+    to can differ from the pre-optimization enumeration order once
+    evictions have reshuffled slots -- still uniform over residents,
+    which is the only property the policy promises.
+    """
+
+    __slots__ = ("_list", "_slot", "_rng")
 
     def __init__(self, seed: int = 0) -> None:
-        self._keys: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._list: list = []
+        self._slot: dict = {}  # key -> index into _list
         self._rng = random.Random(seed)
 
     def on_insert(self, key: Hashable) -> None:
-        self._keys[key] = None
+        self._slot[key] = len(self._list)
+        self._list.append(key)
 
     def on_access(self, key: Hashable) -> None:
         pass
 
     def on_evict(self, key: Hashable) -> None:
-        del self._keys[key]
+        index = self._slot.pop(key)
+        last = self._list.pop()
+        if index < len(self._list):  # not the tail slot: backfill it
+            self._list[index] = last
+            self._slot[last] = index
 
     def victim(self) -> Hashable:
-        index = self._rng.randrange(len(self._keys))
-        for i, key in enumerate(self._keys):
-            if i == index:
-                return key
-        raise IndexError("victim() on empty policy")
+        if not self._list:
+            raise IndexError("victim() on empty policy")
+        return self._list[self._rng.randrange(len(self._list))]
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._list)
 
     def keys(self) -> Iterable[Hashable]:
-        return self._keys.keys()
+        return tuple(self._list)
 
 
 _POLICY_FACTORIES = {

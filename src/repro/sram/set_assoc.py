@@ -5,14 +5,22 @@ with a page-sized "line" -- anywhere a set-associative page structure is
 needed.  The cache tracks residency and dirtiness; timing and energy stay
 with the caller, keeping this structure purely functional and easy to
 property-test.
+
+For the LRU and FIFO policies -- the ones on the per-access hot path --
+residency and recency are **fused** into one insertion-ordered dict per
+set (``key -> dirty``): Python dicts preserve insertion order, so
+move-to-end is pop + reinsert and the victim is the first key.  That
+replaces the former parallel ``OrderedDict`` policy object and its
+double membership checks with a single dict operation per probe.  The
+stateful CLOCK and random policies keep the policy-object path.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
-from repro.sram.replacement import ReplacementPolicy, make_policy
+from repro.sram.replacement import make_policy
 
 
 @dataclasses.dataclass
@@ -23,15 +31,29 @@ class Eviction:
     dirty: bool
 
 
+#: Policies whose ordering metadata is exactly "insertion order of the
+#: residency dict" -- fused, no policy object.
+_FUSED_POLICIES = ("lru", "fifo")
+
+
 class _CacheSet:
-    """One associativity set: residency map plus a replacement policy."""
+    """One associativity set: residency map (+ policy object if any).
 
-    __slots__ = ("ways", "entries", "policy")
+    ``entries`` maps key -> dirty in replacement order for the fused
+    policies; ``policy`` is ``None`` then.  ``lru`` selects whether a
+    touch refreshes the order (LRU) or leaves it alone (FIFO).
+    """
 
-    def __init__(self, ways: int, policy: ReplacementPolicy):
+    __slots__ = ("ways", "entries", "policy", "lru")
+
+    def __init__(self, ways: int, policy_name: str, seed: int):
         self.ways = ways
-        self.entries: Dict[int, bool] = {}  # key -> dirty
-        self.policy = policy
+        self.entries: dict = {}  # key -> dirty, in replacement order
+        self.lru = policy_name == "lru"
+        if policy_name in _FUSED_POLICIES:
+            self.policy = None
+        else:
+            self.policy = make_policy(policy_name, seed=seed)
 
 
 class SetAssociativeCache:
@@ -47,19 +69,27 @@ class SetAssociativeCache:
         :func:`repro.sram.replacement.make_policy`.
     """
 
+    __slots__ = ("num_sets", "ways", "policy_name", "_sets", "hits",
+                 "misses", "evicted_dirty")
+
     def __init__(self, num_sets: int, ways: int, policy: str = "lru"):
         if num_sets <= 0 or ways <= 0:
             raise ValueError(
                 f"invalid cache geometry: num_sets={num_sets} ways={ways}"
             )
+        if policy not in _FUSED_POLICIES:
+            make_policy(policy, seed=0)  # validate the name eagerly
         self.num_sets = num_sets
         self.ways = ways
         self.policy_name = policy
         self._sets: List[_CacheSet] = [
-            _CacheSet(ways, make_policy(policy, seed=i)) for i in range(num_sets)
+            _CacheSet(ways, policy, seed=i) for i in range(num_sets)
         ]
         self.hits = 0
         self.misses = 0
+        #: Dirtiness of the victim of the most recent insert_fast() that
+        #: evicted one (hot-path side channel; see insert_fast).
+        self.evicted_dirty = False
 
     @property
     def capacity_blocks(self) -> int:
@@ -73,19 +103,27 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     def lookup(self, key: int, is_write: bool = False) -> bool:
         """Probe for ``key``; on a hit, update recency and dirtiness."""
-        cache_set = self._set_for(key)
-        if key in cache_set.entries:
+        cache_set = self._sets[key % self.num_sets]
+        entries = cache_set.entries
+        if key in entries:
             self.hits += 1
-            cache_set.policy.on_access(key)
-            if is_write:
-                cache_set.entries[key] = True
+            policy = cache_set.policy
+            if policy is None:
+                if cache_set.lru:
+                    entries[key] = entries.pop(key) or is_write
+                elif is_write:
+                    entries[key] = True
+            else:
+                policy.on_access(key)
+                if is_write:
+                    entries[key] = True
             return True
         self.misses += 1
         return False
 
     def contains(self, key: int) -> bool:
         """Residency check with no statistics or recency side effects."""
-        return key in self._set_for(key).entries
+        return key in self._sets[key % self.num_sets].entries
 
     def insert(self, key: int, dirty: bool = False) -> Optional[Eviction]:
         """Install ``key``, evicting a victim if the set is full.
@@ -94,35 +132,61 @@ class SetAssociativeCache:
         data.  Inserting an already-resident key refreshes its recency and
         merges dirtiness instead of duplicating it.
         """
-        cache_set = self._set_for(key)
-        if key in cache_set.entries:
-            cache_set.policy.on_access(key)
-            cache_set.entries[key] = cache_set.entries[key] or dirty
+        victim = self.insert_fast(key, dirty)
+        if victim is None:
             return None
-        evicted = None
-        if len(cache_set.entries) >= cache_set.ways:
-            victim = cache_set.policy.victim()
-            was_dirty = cache_set.entries.pop(victim)
-            cache_set.policy.on_evict(victim)
-            evicted = Eviction(victim, was_dirty)
-        cache_set.entries[key] = dirty
-        cache_set.policy.on_insert(key)
-        return evicted
+        return Eviction(victim, self.evicted_dirty)
+
+    def insert_fast(self, key: int, dirty: bool = False) -> Optional[int]:
+        """Allocation-free :meth:`insert`: returns the victim key (or
+        ``None``), with its dirtiness in :attr:`evicted_dirty`."""
+        cache_set = self._sets[key % self.num_sets]
+        entries = cache_set.entries
+        policy = cache_set.policy
+        if key in entries:
+            if policy is None:
+                if cache_set.lru:
+                    entries[key] = entries.pop(key) or dirty
+                else:
+                    entries[key] = entries[key] or dirty
+            else:
+                policy.on_access(key)
+                entries[key] = entries[key] or dirty
+            return None
+        victim = None
+        if len(entries) >= cache_set.ways:
+            if policy is None:
+                victim = next(iter(entries))
+                self.evicted_dirty = entries.pop(victim)
+            else:
+                victim = policy.victim()
+                self.evicted_dirty = entries.pop(victim)
+                policy.on_evict(victim)
+        entries[key] = dirty
+        if policy is not None:
+            policy.on_insert(key)
+        return victim
 
     def invalidate(self, key: int) -> Optional[Eviction]:
         """Drop ``key`` if resident, returning it (with dirtiness)."""
-        cache_set = self._set_for(key)
-        if key not in cache_set.entries:
+        cache_set = self._sets[key % self.num_sets]
+        entries = cache_set.entries
+        if key not in entries:
             return None
-        dirty = cache_set.entries.pop(key)
-        cache_set.policy.on_evict(key)
+        dirty = entries.pop(key)
+        if cache_set.policy is not None:
+            cache_set.policy.on_evict(key)
         return Eviction(key, dirty)
 
     def mark_dirty(self, key: int) -> None:
-        """Set the dirty bit of a resident key (no-op if absent)."""
-        cache_set = self._set_for(key)
-        if key in cache_set.entries:
-            cache_set.entries[key] = True
+        """Set the dirty bit of a resident key (no-op if absent).
+
+        Deliberately does not refresh recency -- a background dirty-bit
+        update is not a use of the line.
+        """
+        entries = self._sets[key % self.num_sets].entries
+        if key in entries:
+            entries[key] = True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -146,4 +210,4 @@ class SetAssociativeCache:
 
     def set_of(self, key: int) -> Tuple[int, ...]:
         """Keys currently resident in ``key``'s set (testing aid)."""
-        return tuple(self._set_for(key).entries)
+        return tuple(self._sets[key % self.num_sets].entries)

@@ -29,6 +29,13 @@ class PageTableWalker:
         self.pte_backing = pte_backing
         self.walks = 0
         self.cycles_total = 0.0
+        # Hoisted per-walk constants (walks happen once per TLB miss --
+        # frequent for these memory-bound workloads).
+        self._walk_cycles = float(config.walk_cycles)
+        self._pte_nj = (
+            pte_backing.energy.config.access_nj(8, 0)
+            if pte_backing is not None else 0.0
+        )
 
     def walk(self, table: PageTable, virtual_page: int, now_ns: float = 0.0):
         """Walk for ``virtual_page``.
@@ -41,11 +48,15 @@ class PageTableWalker:
         """
         pte = table.entry(virtual_page)
         table.walks += 1
-        cycles = float(self.config.walk_cycles)
-        if self.pte_backing is not None:
+        cycles = self._walk_cycles
+        backing = self.pte_backing
+        if backing is not None:
             # Energy/bus accounting only: the walk-latency constant above
-            # already covers the time.
-            self.pte_backing.energy.charge(8, 0, is_write=False)
+            # already covers the time.  (EnergyAccount.charge inlined;
+            # zero activations, so only the read side moves.)
+            energy = backing.energy
+            energy.dynamic_nj += self._pte_nj
+            energy.read_bytes += 8
         self.walks += 1
         self.cycles_total += cycles
         return pte, cycles

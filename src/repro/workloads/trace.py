@@ -30,6 +30,9 @@ class AccessTrace:
     mlp: float = 2.0
 
     def __post_init__(self) -> None:
+        # Lazily built by as_lists(); seeded by slice() when the parent
+        # trace has already paid for the numpy->Python conversion.
+        self._lists = None
         n = len(self.virtual_pages)
         for field in ("lines", "writes", "instruction_gaps"):
             if len(getattr(self, field)) != n:
@@ -84,13 +87,19 @@ class AccessTrace:
 
         The simulator's inner loop iterates millions of times; list
         indexing is several times faster than numpy scalar extraction.
+        The conversion is cached on the trace (and inherited by
+        :meth:`slice` children), so replaying the same trace against
+        several designs -- or splitting it into warmup and measurement
+        phases -- converts each array exactly once.
         """
-        return (
-            self.virtual_pages.tolist(),
-            self.lines.tolist(),
-            self.writes.tolist(),
-            self.instruction_gaps.tolist(),
-        )
+        if self._lists is None:
+            self._lists = (
+                self.virtual_pages.tolist(),
+                self.lines.tolist(),
+                self.writes.tolist(),
+                self.instruction_gaps.tolist(),
+            )
+        return self._lists
 
     def head(self, accesses: int) -> "AccessTrace":
         """A shortened copy (used by unit tests and quick examples)."""
@@ -99,7 +108,7 @@ class AccessTrace:
     def slice(self, start: int, stop: int) -> "AccessTrace":
         """A sub-trace covering accesses [start, stop) -- used to split
         traces into warmup and measurement phases."""
-        return AccessTrace(
+        child = AccessTrace(
             name=self.name,
             virtual_pages=self.virtual_pages[start:stop],
             lines=self.lines[start:stop],
@@ -108,6 +117,11 @@ class AccessTrace:
             base_cpi=self.base_cpi,
             mlp=self.mlp,
         )
+        if self._lists is not None:
+            # Slice the already-converted lists instead of reconverting
+            # the numpy views (list slicing is a memcpy of references).
+            child._lists = tuple(part[start:stop] for part in self._lists)
+        return child
 
 
 def save_trace(trace: AccessTrace, path: str) -> None:

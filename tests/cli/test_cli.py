@@ -170,3 +170,36 @@ def test_sweep_rejects_unknown_workload(tmp_path):
     with pytest.raises(SystemExit):
         main(["sweep", "--workloads", "not-a-program",
               "--out", str(tmp_path / "x.jsonl"), "--no-cache"])
+
+
+def test_profile_json_report(capsys):
+    code, out = run_cli(
+        capsys, "profile", "--design", "tagless", "--workload", "sphinx3",
+        "--accesses", "3000", "--top", "5", "--json",
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["design"] == "tagless"
+    assert report["accesses"] == 3000
+    assert report["accesses_per_second"] > 0
+    assert 1 <= len(report["top"]) <= 5
+    # Cumulative ranking puts the simulation entry points first.
+    functions = {row["function"] for row in report["top"]}
+    assert "run" in functions or "access_cycles" in functions
+    ranked = [row["cumtime_s"] for row in report["top"]]
+    assert ranked == sorted(ranked, reverse=True)
+
+
+def test_profile_text_report(capsys):
+    code, out = run_cli(
+        capsys, "profile", "--design", "no-l3", "--workload", "sphinx3",
+        "--accesses", "2000", "--top", "3", "--sort", "tottime",
+    )
+    assert code == 0
+    assert "no-l3 on sphinx3: 2000 accesses" in out
+    assert "top 3 by tottime" in out
+
+
+def test_profile_rejects_bad_top(capsys):
+    with pytest.raises(SystemExit):
+        main(["profile", "--top", "0"])

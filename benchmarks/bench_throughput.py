@@ -83,7 +83,9 @@ def time_design(design_name: str, simulator: Simulator, bindings,
         "design": design_name,
         "accesses": total_accesses,
         "seconds": best,
-        "accesses_per_second": total_accesses / best,
+        # A zero-length run finishes in ~0s and serves 0 accesses; its
+        # rate is reported as 0 rather than nan/inf.
+        "accesses_per_second": (total_accesses / best) if best > 0 else 0.0,
         "ipc": ipc,
     }
 

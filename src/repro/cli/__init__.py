@@ -10,7 +10,9 @@ Commands:
 - ``experiment`` -- regenerate one of the paper's figures end to end;
 - ``sweep``      -- cartesian design x workload x size sweep to JSONL;
 - ``profile``    -- cProfile one simulation run and rank the hot spots;
-- ``validate``   -- grade the paper's headline claims against this build.
+- ``validate``   -- grade the paper's headline claims against this build;
+- ``check``      -- run structural invariants, reference differentials
+  and cross-design bounds (``repro.validate``).
 """
 
 from repro.cli.main import main

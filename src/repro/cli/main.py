@@ -114,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL artifact path (default sweep.jsonl)")
     sweep.add_argument("--json", action="store_true",
                        help="print the run summary as JSON")
+    sweep.add_argument("--validate", action="store_true",
+                       help="run every job with the repro.validate "
+                            "invariant checker installed")
     _add_harness_arguments(sweep)
 
     profile = sub.add_parser(
@@ -144,6 +147,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--accesses", type=int, default=40_000,
                           help="single-programmed trace length")
+
+    check = sub.add_parser(
+        "check",
+        help="run structural invariants, reference differentials and "
+             "cross-design bounds (the repro.validate subsystem)",
+    )
+    check.add_argument("--design", nargs="+", default=list(ALL_DESIGN_NAMES),
+                       choices=ALL_DESIGN_NAMES, metavar="DESIGN",
+                       help="designs to sweep with the invariant checker "
+                            "(default: all registered)")
+    check.add_argument("--accesses", type=int, default=20_000,
+                       help="trace length per invariant-checked run "
+                            "(default 20k)")
+    check.add_argument("--every", type=int, default=None,
+                       help="accesses between invariant sweeps (default "
+                            "$REPRO_VALIDATE_EVERY or 1024)")
+    check.add_argument("--workload", default="mcf",
+                       help="SPEC program driving the checked runs")
+    check.add_argument("--smoke", action="store_true",
+                       help="CI-sized pass: short traces, frequent sweeps")
     return parser
 
 
@@ -346,6 +369,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         replacement=args.replacement,
                         capacity_scale=args.scale,
                         warmup_fraction=args.warmup,
+                        validate=args.validate,
                     ))
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -473,6 +497,83 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Structural and differential validation (the `repro check` gate).
+
+    Three phases, any failure exits non-zero:
+
+    1. every selected design runs an invariant-checked simulation on a
+       deliberately small cache (evictions early and often);
+    2. the optimized set-associative structures are replayed against the
+       slow reference model on randomized traces (LRU/FIFO/CLOCK);
+    3. one trace is replayed through the design chain and the
+       cross-design bounds (ideal >= tagless >= bi >= no-l3, no-l3's
+       off-package demand as the ceiling) are asserted.
+    """
+    import dataclasses as _dc
+
+    from repro.validate import differential, reference
+    from repro.validate.invariants import InvariantViolation
+
+    accesses = 4000 if args.smoke else args.accesses
+    every = args.every if args.every is not None else (500 if args.smoke
+                                                      else None)
+    ref_ops = 4000 if args.smoke else 20_000
+    if accesses < 0:
+        raise SystemExit("--accesses must be >= 0")
+
+    # A small cache over a scaled-down footprint keeps fill/evict churn
+    # high -- the same shape the golden-stats fixtures pin -- so the
+    # invariants see the interesting transitions, not a half-empty cache.
+    config = _dc.replace(
+        default_system(cache_megabytes=128, num_cores=1, capacity_scale=512),
+        tlb_scale=32,
+    )
+    profile = _profile_for(args.workload)
+    trace = TraceGenerator(profile, capacity_scale=512).generate(accesses)
+    bindings = [BoundTrace(0, 0, trace)]
+    simulator = Simulator(config)
+    failures = 0
+
+    print(f"invariant sweep: {len(args.design)} designs x {accesses} "
+          f"accesses ({args.workload})")
+    for design in args.design:
+        try:
+            simulator.run(design, bindings, validate=True,
+                          validate_every=every)
+            print(f"  [ok]   {design}")
+        except InvariantViolation as exc:
+            failures += 1
+            print(f"  [FAIL] {design}: {exc}")
+
+    print(f"reference differential: {ref_ops} randomized ops per policy")
+    for policy in reference.REFERENCE_POLICIES:
+        try:
+            reference.run_reference_differential(
+                policy, num_sets=4, ways=8, operations=ref_ops
+            )
+            print(f"  [ok]   {policy}")
+        except InvariantViolation as exc:
+            failures += 1
+            print(f"  [FAIL] {policy}: {exc}")
+
+    chain = [d for d in differential.BOUND_CHAIN if d in args.design]
+    extras = [d for d in ("sram", "alloy") if d in args.design]
+    if len(chain) >= 2 or extras:
+        try:
+            report = differential.run_cross_design_bounds(
+                config, bindings, designs=chain + extras,
+                workload=args.workload, validate=False,
+            )
+            print(report.table())
+            failures += sum(1 for c in report.checks if not c.passed)
+        except InvariantViolation as exc:
+            failures += 1
+            print(f"  [FAIL] cross-design bounds: {exc}")
+    print("check:", "PASS" if failures == 0 else f"FAIL ({failures})")
+    return 0 if failures == 0 else 1
+
+
 _COMMANDS = {
     "workloads": cmd_workloads,
     "trace": cmd_trace,
@@ -481,6 +582,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "profile": cmd_profile,
     "validate": cmd_validate,
+    "check": cmd_check,
 }
 
 

@@ -98,6 +98,17 @@ class FreeQueue:
     def pending_evictions(self) -> int:
         return len(self._pending)
 
+    # ------------------------------------------------------------------
+    # Introspection (validation support; no simulation side effects)
+    # ------------------------------------------------------------------
+    def free_pages(self) -> tuple:
+        """Snapshot of the free pool, HP first."""
+        return tuple(self._free)
+
+    def pending_pages(self) -> tuple:
+        """Snapshot of the eviction queue, oldest first."""
+        return tuple(self._pending)
+
     def stats(self, prefix: str = "") -> dict:
         return {
             f"{prefix}allocations": float(self.allocations),

@@ -51,6 +51,10 @@ class VictimTracker:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def tracked_pages(self):
+        """Live tracked pages (validation support, read-only)."""
+        raise NotImplementedError
+
 
 class FIFOVictimTracker(VictimTracker):
     """Allocation-order victims with second-chance skipping of residents.
@@ -98,6 +102,9 @@ class FIFOVictimTracker(VictimTracker):
     def __len__(self) -> int:
         return len(self._live)
 
+    def tracked_pages(self):
+        return tuple(self._live)
+
 
 class LRUVictimTracker(VictimTracker):
     """Least-recently-used victims (the Figure 11 comparison point)."""
@@ -132,6 +139,9 @@ class LRUVictimTracker(VictimTracker):
 
     def __len__(self) -> int:
         return len(self._order)
+
+    def tracked_pages(self):
+        return tuple(self._order)
 
 
 class ClockVictimTracker(VictimTracker):
@@ -184,6 +194,9 @@ class ClockVictimTracker(VictimTracker):
 
     def __len__(self) -> int:
         return len(self._referenced)
+
+    def tracked_pages(self):
+        return tuple(self._referenced)
 
 
 def make_victim_tracker(name: str) -> VictimTracker:

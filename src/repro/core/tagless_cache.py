@@ -74,6 +74,12 @@ class TaglessCacheEngine:
         self.writebacks = 0
         self.alpha_deficits = 0
         self.footprint_misses = 0
+        #: Lifetime flag (never reset): has the free pool *ever* run an
+        #: alpha deficit?  The ``alpha_deficits`` counter above resets at
+        #: the warmup boundary, but the invariant checker must not flag
+        #: ``free < alpha`` as a violation if the deficit legitimately
+        #: predates the reset.
+        self._alpha_deficit_ever = False
 
     # ------------------------------------------------------------------
     # Fill path (cTLB miss, page not cached) -- the shaded path of Fig. 4
@@ -213,6 +219,7 @@ class TaglessCacheEngine:
                 # only when the cache is barely larger than total TLB
                 # reach; record it and let the free pool run a deficit.
                 self.alpha_deficits += 1
+                self._alpha_deficit_ever = True
                 break
             self.free_queue.enqueue_eviction(victim)
             self._drain_evictions(now_ns)
@@ -263,23 +270,51 @@ class TaglessCacheEngine:
     def check_invariants(self) -> None:
         """Raise SimulationError if cache and GIPT state have diverged.
 
-        Called by tests after simulation runs; cheap enough to call
-        periodically during long runs as well.
+        Called by tests after simulation runs and by the
+        ``repro.validate`` invariant checker periodically during
+        validated runs.  Strictly read-only.
         """
         live = len(self.gipt)
-        free = self.free_queue.free_blocks
-        pending = self.free_queue.pending_evictions
+        free_pages = self.free_queue.free_pages()
+        pending_pages = self.free_queue.pending_pages()
+        free = len(free_pages)
+        pending = len(pending_pages)
         if live + free + pending != self.capacity_pages:
             raise SimulationError(
                 f"block accounting broken: {live} live + {free} free + "
                 f"{pending} pending != capacity {self.capacity_pages}"
             )
+        # The free pool, the eviction queue and the GIPT's live entries
+        # must partition the cache: any overlap means a block is
+        # simultaneously "holds data" and "free to allocate".
+        free_set = set(free_pages)
+        if len(free_set) != free:
+            raise SimulationError("free pool holds duplicate cache pages")
+        pending_set = set(pending_pages)
+        overlap = free_set & pending_set
+        if overlap:
+            raise SimulationError(
+                f"HP free pool and eviction queue share pages {overlap}"
+            )
+        live_overlap = free_set.intersection(self.gipt.cached_cache_pages())
+        if live_overlap:
+            raise SimulationError(
+                f"free pool contains live (GIPT-mapped) pages {live_overlap}"
+            )
+        mask_limit = 1 << self.gipt.num_cores
         for cache_page in self.gipt.cached_cache_pages():
-            pte = self.gipt.require(cache_page).pte
+            entry = self.gipt.require(cache_page)
+            pte = entry.pte
             if not pte.valid_in_cache or pte.cache_page != cache_page:
                 raise SimulationError(
                     f"GIPT entry for CA {cache_page:#x} disagrees with its "
                     f"PTE (VC={pte.valid_in_cache}, CA={pte.cache_page})"
+                )
+            if not (0 <= entry.residence_mask < mask_limit):
+                raise SimulationError(
+                    f"GIPT entry for CA {cache_page:#x} has residence mask "
+                    f"{entry.residence_mask:#x} with bits beyond "
+                    f"{self.gipt.num_cores} cores"
                 )
 
     def reset_stats(self) -> None:
@@ -296,6 +331,12 @@ class TaglessCacheEngine:
         self.free_queue.allocations = 0
         self.free_queue.evictions_enqueued = 0
         self.free_queue.evictions_completed = 0
+        if self.footprint is not None:
+            # Counters only -- the predictor's learned history (records,
+            # masks) is warm state and must survive the reset.
+            self.footprint.predictions = 0
+            self.footprint.full_fetches = 0
+            self.footprint.predicted_bytes = 0
 
     def occupancy(self) -> float:
         return len(self.gipt) / self.capacity_pages

@@ -18,6 +18,11 @@ from repro.cpu.multicore import BoundTrace, CoreResult, run_interleaved
 from repro.designs.base import MemorySystemDesign
 from repro.designs.registry import create_design
 from repro.designs.tagless_design import TaglessDesign
+from repro.validate.invariants import (
+    InvariantChecker,
+    check_interval,
+    validation_enabled,
+)
 
 
 @dataclasses.dataclass
@@ -75,6 +80,8 @@ class Simulator:
         warmup_fraction: float = 0.25,
         caching_policy=None,
         superpages: Optional[Dict[int, Sequence]] = None,
+        validate: Optional[bool] = None,
+        validate_every: Optional[int] = None,
     ) -> SimulationResult:
         """Simulate ``bindings`` on a fresh instance of ``design_name``.
 
@@ -88,10 +95,28 @@ class Simulator:
         ``non_cacheable`` maps process id -> virtual pages to flag NC
         before the run (the Section 5.4 case study); it only affects the
         tagless design, which is the only one with an NC mechanism.
+
+        ``validate=True`` installs an
+        :class:`~repro.validate.invariants.InvariantChecker` that sweeps
+        the design's registered structural invariants every
+        ``validate_every`` accesses (default from ``REPRO_VALIDATE_EVERY``
+        or 1024) and once more at the end of the run, raising
+        :class:`~repro.validate.invariants.InvariantViolation` on any
+        breakage.  ``validate=None`` defers to the ``REPRO_VALIDATE``
+        environment variable.  Checks are read-only: results are
+        bit-identical with and without validation.
         """
         if not (0.0 <= warmup_fraction < 1.0):
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if validate is None:
+            validate = validation_enabled()
         design = self.build_design(design_name)
+        checker = None
+        if validate:
+            every = (check_interval() if validate_every is None
+                     else validate_every)
+            checker = InvariantChecker(design, every=every)
+            checker.install()  # before run_interleaved binds access_cycles
         if non_cacheable and isinstance(design, TaglessDesign):
             for process_id, pages in non_cacheable.items():
                 for virtual_page in pages:
@@ -129,6 +154,9 @@ class Simulator:
             design.reset_stats()
             bindings = measured
         cores = run_interleaved(design, bindings)
+        if checker is not None:
+            checker.run_checks()  # final sweep over the end-of-run state
+            checker.uninstall()
         elapsed_ns = max((c.cycles for c in cores), default=0.0)
         elapsed_ns /= self.config.core.frequency_ghz
         energy = compute_energy(design, cores, elapsed_ns)

@@ -26,6 +26,7 @@ from typing import Dict, Tuple
 
 from repro.common.addressing import LINES_PER_PAGE
 from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
 from repro.designs.base import MemorySystemDesign
 from repro.vm.tlb import TLBEntry
 
@@ -115,6 +116,27 @@ class AlloyCacheDesign(MemorySystemDesign):
         """Usable data fraction of the in-package DRAM (Table 2's 'small
         tag storage: bad' row -- the 12.5 % DRAM tag tax)."""
         return 1 - TAG_CAPACITY_TAX
+
+    def register_invariants(self, checker) -> None:
+        super().register_invariants(checker)
+        checker.register("alloy_slots", self._check_slots)
+
+    def _check_slots(self) -> None:
+        """Direct-mapped integrity: every resident line sits in the one
+        slot its address hashes to, within the (tag-taxed) capacity."""
+        if len(self._slots) > self.num_blocks:
+            raise SimulationError(
+                f"{len(self._slots)} resident blocks exceed capacity "
+                f"{self.num_blocks}"
+            )
+        for slot, (line, _dirty) in self._slots.items():
+            if not (0 <= slot < self.num_blocks):
+                raise SimulationError(f"slot {slot} out of range")
+            if line % self.num_blocks != slot:
+                raise SimulationError(
+                    f"line {line} stored in slot {slot}, maps to "
+                    f"{line % self.num_blocks}"
+                )
 
     def reset_stats(self) -> None:
         super().reset_stats()

@@ -371,6 +371,34 @@ class MemorySystemDesign:
         )
 
     # ------------------------------------------------------------------
+    # Validation (repro.validate)
+    # ------------------------------------------------------------------
+    def register_invariants(self, checker) -> None:
+        """Register this design's structural invariants with ``checker``
+        (an :class:`repro.validate.invariants.InvariantChecker`).
+
+        The base class covers what every design shares -- TLB inclusion
+        and on-die cache consistency; subclasses extend this with their
+        own structures.  Registered checks must be strictly read-only.
+        """
+        from repro.validate.invariants import check_tlb_hierarchy
+
+        for core_id, tlb in enumerate(self.tlbs):
+            checker.register(
+                f"core{core_id}_tlb_inclusion",
+                lambda tlb=tlb, core_id=core_id: check_tlb_hierarchy(
+                    tlb, f"core{core_id}"
+                ),
+            )
+        for core_id, hierarchy in enumerate(self.ondie):
+            checker.register(
+                f"core{core_id}_ondie_l1", hierarchy.l1.check_consistency
+            )
+            checker.register(
+                f"core{core_id}_ondie_l2", hierarchy.l2.check_consistency
+            )
+
+    # ------------------------------------------------------------------
     # Warmup support
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:

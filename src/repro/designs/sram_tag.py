@@ -110,6 +110,10 @@ class SRAMTagDesign(MemorySystemDesign):
             return 0.0
         return self.hits / total
 
+    def register_invariants(self, checker) -> None:
+        super().register_invariants(checker)
+        checker.register("tag_array", self.tags.check_consistency)
+
     def reset_stats(self) -> None:
         super().reset_stats()
         self.hits = 0

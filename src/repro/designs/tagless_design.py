@@ -196,6 +196,90 @@ class TaglessDesign(MemorySystemDesign):
             handler.policy = policy
 
     # ------------------------------------------------------------------
+    # Validation (repro.validate)
+    # ------------------------------------------------------------------
+    def register_invariants(self, checker) -> None:
+        super().register_invariants(checker)
+        checker.register("engine_accounting", self.engine.check_invariants)
+        checker.register("alpha_reserve", self._check_alpha_reserve)
+        checker.register("ctlb_residence", self._check_ctlb_residence)
+        checker.register("ondie_keys_live", self._check_ondie_keys_live)
+        checker.register("victim_tracker", self._check_victim_tracker)
+
+    def _check_alpha_reserve(self) -> None:
+        """Free pool >= alpha between accesses, and the eviction queue
+        drained (the simulator's drain is state-eager)."""
+        fq = self.engine.free_queue
+        if fq.pending_evictions != 0:
+            raise SimulationError(
+                f"{fq.pending_evictions} evictions left undrained between "
+                "accesses (eager-drain property broken)"
+            )
+        if fq.free_blocks < fq.alpha and not self.engine._alpha_deficit_ever:
+            raise SimulationError(
+                f"free pool holds {fq.free_blocks} < alpha={fq.alpha} "
+                "blocks with no recorded alpha deficit"
+            )
+
+    def _check_ctlb_residence(self) -> None:
+        """Every cTLB translation's cache page is live in the engine with
+        this core's GIPT residence bit set -- the paper's "TLB hit
+        implies cache hit" guarantee."""
+        gipt = self.engine.gipt
+        for core_id, tlb in enumerate(self.tlbs):
+            for virtual_page, entry in tlb.l2._map.items():
+                if entry.non_cacheable:
+                    continue
+                gipt_entry = gipt.lookup(entry.target_page)
+                if gipt_entry is None:
+                    raise SimulationError(
+                        f"core {core_id} cTLB maps VA {virtual_page:#x} to "
+                        f"CA {entry.target_page:#x} which holds no page"
+                    )
+                if not (gipt_entry.residence_mask >> core_id) & 1:
+                    raise SimulationError(
+                        f"core {core_id} cTLB maps VA {virtual_page:#x} to "
+                        f"CA {entry.target_page:#x} but its GIPT residence "
+                        f"bit is clear (mask={gipt_entry.residence_mask:#x})"
+                    )
+
+    def _check_ondie_keys_live(self) -> None:
+        """No on-die cache holds a line of a recycled cache address.
+
+        CA-keyed lines (below the PA namespace) must belong to pages the
+        engine currently maps; anything else means eviction forgot to
+        invalidate the on-die hierarchies.  Iterates the (small) on-die
+        caches, not the cache's page space.
+        """
+        live = self.engine.gipt._entries
+        for core_id, hierarchy in enumerate(self.ondie):
+            for level_name, level in (("l1", hierarchy.l1),
+                                      ("l2", hierarchy.l2)):
+                for line_key in level:
+                    if line_key >= PA_NAMESPACE_OFFSET:
+                        continue  # NC line, PA-keyed: no cache page
+                    cache_page = line_key // LINES_PER_PAGE
+                    if cache_page not in live:
+                        raise SimulationError(
+                            f"core {core_id} on-die {level_name} holds "
+                            f"line {line_key} of CA {cache_page:#x}, which "
+                            "is not cached (recycled address not "
+                            "invalidated)"
+                        )
+
+    def _check_victim_tracker(self) -> None:
+        """The victim tracker's live set is exactly the cached pages."""
+        tracked = set(self.engine.victims.tracked_pages())
+        live = set(self.engine.gipt._entries)
+        if tracked != live:
+            missing = live - tracked
+            stale = tracked - live
+            raise SimulationError(
+                f"victim tracker out of sync with GIPT: missing={missing} "
+                f"stale={stale}"
+            )
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
@@ -203,6 +287,10 @@ class TaglessDesign(MemorySystemDesign):
         self.nc_accesses = 0
         self.cache_accesses = 0
         self.engine.reset_stats()
+        if self.caching_policy is not None:
+            # Policy decision counters feed the ``policy_`` stats keys;
+            # warmup decisions must not leak into the measured window.
+            self.caching_policy.reset_stats()
         for handler in self.handlers:
             handler.outcomes = {o: 0 for o in handler.outcomes}
             handler.cycles_total = 0.0

@@ -15,8 +15,11 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import subprocess
 from typing import Dict, List, Optional
 
+import repro
 from repro.common import rng
 from repro.common.config import SystemConfig, default_system
 from repro.common.errors import ConfigurationError
@@ -34,6 +37,38 @@ SCHEMA_VERSION = 1
 
 #: Recognised workload binding recipes.
 WORKLOAD_KINDS = ("spec", "mix", "parsec")
+
+#: Memoised :func:`code_fingerprint` value (None = not yet computed).
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Identify the simulator code that produces results.
+
+    ``<package version>+<git rev>`` when the repository is available
+    (``-dirty`` suffix for uncommitted changes), else the package
+    version alone.  Folded into every cache key so results cached by one
+    version of the simulator are never replayed by another -- config
+    knobs alone cannot distinguish two builds whose *code* computes
+    different numbers from the same knobs.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        fingerprint = repro.__version__
+        try:
+            rev = subprocess.run(
+                ["git", "describe", "--always", "--dirty"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            if rev.returncode == 0 and rev.stdout.strip():
+                fingerprint = f"{fingerprint}+{rev.stdout.strip()}"
+        except (OSError, subprocess.SubprocessError):
+            pass  # no git available: the package version must do
+        _FINGERPRINT = fingerprint
+    return _FINGERPRINT
 
 
 def infer_workload_kind(workload: str) -> str:
@@ -76,6 +111,8 @@ class JobSpec:
     #: RNG base seed; ``None`` means the library default
     #: (:data:`repro.common.rng.BASE_SEED`) in effect at execution time.
     base_seed: Optional[int] = None
+    #: Run with the ``repro.validate`` invariant checker installed.
+    validate: bool = False
 
     def __post_init__(self) -> None:
         if not self.workload_kind:
@@ -87,8 +124,10 @@ class JobSpec:
                 f"unknown workload kind {self.workload_kind!r}; "
                 f"expected one of {WORKLOAD_KINDS}"
             )
-        if self.accesses <= 0:
-            raise ConfigurationError("accesses must be positive")
+        if self.accesses < 0:
+            # Zero is legal: a zero-length run exercises the plumbing
+            # and reports all-zero metrics (used by smoke tests).
+            raise ConfigurationError("accesses must be >= 0")
         if not (0.0 <= self.warmup_fraction < 1.0):
             raise ConfigurationError("warmup_fraction must be in [0, 1)")
 
@@ -115,12 +154,14 @@ class JobSpec:
         """Stable content hash of this spec plus the effective base seed.
 
         Any change to a config knob, the workload recipe, the warmup
-        split, the library base seed, or :data:`SCHEMA_VERSION` yields a
+        split, the library base seed, :data:`SCHEMA_VERSION`, or the
+        simulator code itself (:func:`code_fingerprint`) yields a
         different key, so stale results can never be replayed.
         """
         payload = self.to_dict()
         payload["base_seed"] = self.effective_seed
         payload["schema"] = SCHEMA_VERSION
+        payload["code"] = code_fingerprint()
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode()).hexdigest()
 
@@ -203,6 +244,8 @@ def execute_job(spec: JobSpec) -> SimulationResult:
             bindings,
             non_cacheable=non_cacheable,
             warmup_fraction=spec.warmup_fraction,
+            # False defers to REPRO_VALIDATE; True forces validation on.
+            validate=spec.validate or None,
         )
     finally:
         if override:

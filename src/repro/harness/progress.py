@@ -53,8 +53,26 @@ class ProgressReporter:
             cache_note = f", cache {outcome.cache_status}"
         self._emit(
             f"[{self.done}/{total}] {outcome.spec.label} {status} "
-            f"({outcome.wall_time_s:.2f}s{cache_note})"
+            f"({outcome.wall_time_s:.2f}s{cache_note}{self._eta_note()})"
         )
+
+    def _eta_note(self) -> str:
+        """``, eta Xs`` estimate, or empty when it cannot be computed.
+
+        Guards every division: zero jobs done, zero elapsed time (all
+        cache hits on a fast disk) and an unknown total all degrade to
+        no estimate rather than a ZeroDivisionError or ``nan``.
+        """
+        if self.total is None or self.done <= 0:
+            return ""
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return ""
+        elapsed = time.perf_counter() - self._started
+        if elapsed <= 0.0:
+            return ""
+        eta = remaining * (elapsed / self.done)
+        return f", eta {eta:.0f}s"
 
     def summary(self, cache_stats: Optional[CacheStats] = None) -> str:
         """Build (and print) the end-of-run summary line."""
@@ -64,6 +82,10 @@ class ProgressReporter:
             f"{self.errors} errors",
             f"{elapsed:.2f}s wall",
         ]
+        if self.done > 0 and elapsed > 0.0:
+            # Rate only when well-defined: an empty or instant run has
+            # no meaningful jobs/s and must not divide by zero.
+            parts.append(f"{self.done / elapsed:.2f} jobs/s")
         if cache_stats is not None and cache_stats.lookups:
             parts.append(
                 f"cache {cache_stats.hits}/{cache_stats.lookups} hits "

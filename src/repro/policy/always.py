@@ -26,3 +26,6 @@ class AlwaysCachePolicy(CachingPolicy):
 
     def stats(self, prefix: str = "") -> dict:
         return {f"{prefix}decisions": float(self.decisions)}
+
+    def reset_stats(self) -> None:
+        self.decisions = 0

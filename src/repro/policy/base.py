@@ -58,3 +58,10 @@ class CachingPolicy:
     def stats(self, prefix: str = "") -> dict:
         """Policy-specific counters for the experiment harness."""
         return {}
+
+    def reset_stats(self) -> None:
+        """Zero decision counters at the warmup/measurement boundary.
+
+        Learned state (touch counts, profiles) stays -- only reporting
+        counters reset, mirroring every other component's reset_stats.
+        """

@@ -71,3 +71,8 @@ class StaticProfilePolicy(CachingPolicy):
             f"{prefix}cached": float(self.cached),
             f"{prefix}nc_pages": float(len(self._nc)),
         }
+
+    def reset_stats(self) -> None:
+        # The NC page set is the (static) profile and stays.
+        self.pinned = 0
+        self.cached = 0

@@ -82,3 +82,9 @@ class TouchCountFilterPolicy(CachingPolicy):
             f"{prefix}decays": float(self.decays),
             f"{prefix}pending": float(len(self._counts)),
         }
+
+    def reset_stats(self) -> None:
+        # The touch counters themselves are learned state and stay.
+        self.bypasses = 0
+        self.promotions = 0
+        self.decays = 0

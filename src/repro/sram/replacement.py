@@ -109,20 +109,34 @@ class ClockPolicy(ReplacementPolicy):
     its stale older slot cannot masquerade as the live one -- the hand
     therefore visits keys in exactly the order eager removal would
     produce.
+
+    Stale slots the hand never reaches (invalidate-heavy callers may
+    never ask for a victim) are bounded by compaction: once stale slots
+    outnumber live keys, the ring is rebuilt from its live slots in
+    order.  The hand stays at the front and live order is untouched, so
+    victim sequences are identical to the never-compacting version, and
+    the ring can never exceed ``2 * len(self) + 1`` slots.
     """
 
-    __slots__ = ("_ring", "_referenced", "_version")
+    __slots__ = ("_ring", "_referenced", "_version", "_stale")
 
     def __init__(self) -> None:
         self._ring: deque = deque()  # (key, version) slots, some stale
         self._referenced: dict = {}
         self._version: dict = {}  # key -> live slot's version counter
+        self._stale = 0  # stale slots currently in the ring
 
     def on_insert(self, key: Hashable) -> None:
         version = self._version.get(key, 0) + 1
         self._version[key] = version
         self._ring.append((key, version))
+        if key in self._referenced:
+            # Re-insert of a live key: its old slot just went stale
+            # (eviction's stale slots are counted in on_evict).
+            self._stale += 1
         self._referenced[key] = False
+        if self._stale > len(self._referenced):
+            self._compact()
 
     def on_access(self, key: Hashable) -> None:
         if key in self._referenced:
@@ -130,6 +144,9 @@ class ClockPolicy(ReplacementPolicy):
 
     def on_evict(self, key: Hashable) -> None:
         del self._referenced[key]  # ring slot goes stale, dropped lazily
+        self._stale += 1
+        if self._stale > len(self._referenced):
+            self._compact()
 
     def victim(self) -> Hashable:
         ring = self._ring
@@ -139,12 +156,29 @@ class ClockPolicy(ReplacementPolicy):
             key, slot_version = ring[0]
             if key not in referenced or version[key] != slot_version:
                 ring.popleft()  # stale slot: evicted or re-inserted since
+                self._stale -= 1
                 continue
             if referenced[key]:
                 referenced[key] = False
                 ring.rotate(-1)
                 continue
             return key
+
+    def _compact(self) -> None:
+        """Rebuild the ring from live slots, front (hand) first.
+
+        Also prunes ``_version`` to live keys: after compaction no stale
+        slot survives that an old counter would need to disambiguate.
+        """
+        referenced = self._referenced
+        version = self._version
+        live = [
+            slot for slot in self._ring
+            if slot[0] in referenced and version[slot[0]] == slot[1]
+        ]
+        self._ring = deque(live)
+        self._version = dict(live)
+        self._stale = 0
 
     def __len__(self) -> int:
         return len(self._referenced)

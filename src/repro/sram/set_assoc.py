@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterator, List, Optional, Tuple
 
+from repro.common.errors import SimulationError
 from repro.sram.replacement import make_policy
 
 
@@ -211,3 +212,31 @@ class SetAssociativeCache:
     def set_of(self, key: int) -> Tuple[int, ...]:
         """Keys currently resident in ``key``'s set (testing aid)."""
         return tuple(self._sets[key % self.num_sets].entries)
+
+    def check_consistency(self) -> None:
+        """Validate per-set structure (read-only; ``repro.validate``).
+
+        Every set must respect its associativity, hold only keys that
+        map to it, and -- for the policy-object path -- keep the policy's
+        key set identical to the residency dict's.
+        """
+        for index, cache_set in enumerate(self._sets):
+            entries = cache_set.entries
+            if len(entries) > cache_set.ways:
+                raise SimulationError(
+                    f"set {index} holds {len(entries)} blocks but has "
+                    f"only {cache_set.ways} ways"
+                )
+            for key in entries:
+                if key % self.num_sets != index:
+                    raise SimulationError(
+                        f"key {key} indexed into set {index} of "
+                        f"{self.num_sets} (belongs in {key % self.num_sets})"
+                    )
+            policy = cache_set.policy
+            if policy is not None and set(policy.keys()) != set(entries):
+                raise SimulationError(
+                    f"set {index}: replacement-policy keys "
+                    f"{sorted(policy.keys())} != resident keys "
+                    f"{sorted(entries)}"
+                )

@@ -14,6 +14,7 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from repro.common.config import SRAMTagConfig
+from repro.common.errors import SimulationError
 from repro.sram.replacement import make_policy
 
 
@@ -151,6 +152,50 @@ class SRAMTagArray:
         """Zero probe counters; tag contents stay warm."""
         self.probes = 0
         self.hits = 0
+
+    def check_consistency(self) -> None:
+        """Validate tag-store structure (read-only; ``repro.validate``)."""
+        allocated = set()
+        for index, tag_set in enumerate(self._sets):
+            ways_used = set(tag_set.mapping.values())
+            if len(ways_used) != len(tag_set.mapping):
+                raise SimulationError(
+                    f"tag set {index}: two pages share one way"
+                )
+            free = set(tag_set.free_ways)
+            if ways_used & free:
+                raise SimulationError(
+                    f"tag set {index}: ways {ways_used & free} are both "
+                    "mapped and free"
+                )
+            if len(ways_used) + len(free) != self.ways:
+                raise SimulationError(
+                    f"tag set {index}: {len(ways_used)} mapped + "
+                    f"{len(free)} free ways != associativity {self.ways}"
+                )
+            for way in ways_used | free:
+                if not (0 <= way < self.ways):
+                    raise SimulationError(
+                        f"tag set {index}: way {way} out of range"
+                    )
+            if set(tag_set.policy.keys()) != set(tag_set.mapping):
+                raise SimulationError(
+                    f"tag set {index}: policy keys != mapped pages"
+                )
+            for page in tag_set.mapping:
+                if page % self.num_sets != index:
+                    raise SimulationError(
+                        f"tag set {index}: PPN {page} belongs in set "
+                        f"{page % self.num_sets}"
+                    )
+            allocated.update(
+                self._cache_page(index, way) for way in ways_used
+            )
+        stray = set(self._dirty) - allocated
+        if stray:
+            raise SimulationError(
+                f"dirty bits for unallocated cache pages {sorted(stray)}"
+            )
 
     def __len__(self) -> int:
         return sum(len(s.mapping) for s in self._sets)

@@ -1,0 +1,29 @@
+"""Invariant checking and differential validation (``repro check``).
+
+Kept import-light: only the invariant layer loads eagerly (designs and
+the simulator import it on their hot construction path); the reference
+and cross-design differential harnesses are imported lazily by callers
+(``from repro.validate import differential, reference``).
+"""
+
+from repro.validate.invariants import (
+    DEFAULT_CHECK_EVERY,
+    ENV_ENABLE,
+    ENV_EVERY,
+    InvariantChecker,
+    InvariantViolation,
+    check_interval,
+    check_tlb_hierarchy,
+    validation_enabled,
+)
+
+__all__ = [
+    "DEFAULT_CHECK_EVERY",
+    "ENV_ENABLE",
+    "ENV_EVERY",
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_interval",
+    "check_tlb_hierarchy",
+    "validation_enabled",
+]

@@ -1,0 +1,177 @@
+"""Cross-design differential validation.
+
+Replays one trace through several designs and asserts the ordering
+relationships the paper's architecture implies, whatever the workload:
+
+- **In-package service ratio** is monotone in cache capability: the
+  ideal SRAM L3 serves everything in package, the tagless DRAM cache at
+  least as much as bank interleaving (which only catches pages that
+  happen to live in the on-package half of the flat address space), and
+  the no-L3 baseline serves nothing in package.
+- **Off-package demand traffic**: no design may send more demand
+  accesses off package than the no-L3 baseline, which misses everything.
+
+These are bounds, not fixtures -- they hold for any trace, so the
+harness runs them on randomized workloads where golden stats cannot
+reach.  Each constituent run also executes with the invariant checker
+installed, so a differential run doubles as a structural sweep of every
+design involved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.cpu.multicore import BoundTrace
+from repro.cpu.simulator import SimulationResult, Simulator
+from repro.validate.invariants import InvariantViolation
+
+#: Designs whose service ratios form a provable chain, best first.
+BOUND_CHAIN = ("ideal", "tagless", "bi", "no-l3")
+
+#: Tolerance for floating-point ratio comparisons.
+EPS = 1e-9
+
+
+def in_package_service_ratio(design_name: str,
+                             stats: Dict[str, float]) -> float:
+    """Fraction of L3-level demand served without leaving the package.
+
+    Each design exposes the quantity through different counters, so this
+    normalises them to one comparable ratio in [0, 1].
+    """
+    if design_name == "ideal":
+        return 1.0  # perfect SRAM L3: every L3 access hits in package
+    if design_name == "no-l3":
+        return 0.0  # no L3 at all: everything goes to off-package DRAM
+    if design_name == "tagless":
+        cache = stats.get("cache_accesses", 0.0)
+        nc = stats.get("nc_accesses", 0.0)
+        fills = stats.get("engine_fills", 0.0)
+        total = cache + nc
+        if total <= 0:
+            return 0.0
+        # Cache accesses minus fills-from-home approximates hits; NC
+        # accesses always go off package.
+        return min(1.0, max(0.0, (cache - fills) / total))
+    if design_name == "bi":
+        total = stats.get("l3_accesses", 0.0)
+        if total <= 0:
+            return 0.0
+        return min(1.0, stats.get("in_package_hits", 0.0) / total)
+    if design_name in ("sram", "alloy"):
+        hits = stats.get("l3_hits", 0.0)
+        misses = stats.get("l3_misses", 0.0)
+        total = hits + misses
+        if total <= 0:
+            return 0.0
+        return hits / total
+    raise ValueError(f"no service-ratio definition for design {design_name!r}")
+
+
+@dataclasses.dataclass
+class BoundCheck:
+    """One cross-design assertion and its measured values."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclasses.dataclass
+class DifferentialReport:
+    """Outcome of one cross-design differential run."""
+
+    workload: str
+    accesses: int
+    ratios: Dict[str, float]
+    offpkg_demand: Dict[str, float]
+    checks: List[BoundCheck]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def table(self) -> str:
+        lines = [
+            f"differential: {self.workload}, {self.accesses} accesses",
+            f"{'design':10s} {'in-pkg ratio':>12s} {'offpkg demand':>14s}",
+        ]
+        for name in self.ratios:
+            lines.append(f"{name:10s} {self.ratios[name]:12.4f} "
+                         f"{self.offpkg_demand[name]:14,.0f}")
+        for check in self.checks:
+            status = "ok" if check.passed else "FAIL"
+            lines.append(f"  [{status}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        failures = [c for c in self.checks if not c.passed]
+        if failures:
+            raise InvariantViolation(
+                "; ".join(f"{c.name}: {c.detail}" for c in failures)
+            )
+
+
+def run_cross_design_bounds(
+    config: SystemConfig,
+    bindings: Sequence[BoundTrace],
+    designs: Sequence[str] = BOUND_CHAIN,
+    workload: str = "?",
+    validate: bool = True,
+    results: Optional[Dict[str, SimulationResult]] = None,
+) -> DifferentialReport:
+    """Replay ``bindings`` through each design and check the bounds.
+
+    ``results`` (optional, mutated in place) collects the per-design
+    :class:`SimulationResult` objects for callers that want to inspect
+    more than the bound metrics.
+    """
+    simulator = Simulator(config)
+    accesses = sum(len(b.trace) for b in bindings)
+    ratios: Dict[str, float] = {}
+    offpkg: Dict[str, float] = {}
+    for name in designs:
+        result = simulator.run(name, bindings, validate=validate)
+        ratios[name] = in_package_service_ratio(name, result.stats)
+        offpkg[name] = result.stats.get("offpkg_demand_accesses", 0.0)
+        if results is not None:
+            results[name] = result
+
+    checks: List[BoundCheck] = []
+    chain: List[Tuple[str, float]] = [
+        (name, ratios[name]) for name in BOUND_CHAIN if name in ratios
+    ]
+    for (better, better_ratio), (worse, worse_ratio) in zip(chain,
+                                                            chain[1:]):
+        passed = better_ratio + EPS >= worse_ratio
+        checks.append(BoundCheck(
+            name=f"service_ratio[{better}] >= service_ratio[{worse}]",
+            passed=passed,
+            detail=f"{better_ratio:.6f} vs {worse_ratio:.6f}",
+        ))
+    for name, ratio in ratios.items():
+        checks.append(BoundCheck(
+            name=f"service_ratio[{name}] in [0, 1]",
+            passed=-EPS <= ratio <= 1.0 + EPS,
+            detail=f"{ratio:.6f}",
+        ))
+    if "no-l3" in offpkg:
+        ceiling = offpkg["no-l3"]
+        for name, demand in offpkg.items():
+            if name == "no-l3":
+                continue
+            checks.append(BoundCheck(
+                name=f"offpkg_demand[{name}] <= offpkg_demand[no-l3]",
+                passed=demand <= ceiling + EPS,
+                detail=f"{demand:,.0f} vs {ceiling:,.0f}",
+            ))
+    return DifferentialReport(
+        workload=workload,
+        accesses=accesses,
+        ratios=ratios,
+        offpkg_demand=offpkg,
+        checks=checks,
+    )

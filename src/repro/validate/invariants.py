@@ -1,0 +1,163 @@
+"""Run-time invariant checking for the simulated memory-system designs.
+
+PR 2 rewrote the per-access hot path with hand-inlined probes, fused
+residency/recency dicts and lazy replacement structures -- exactly the
+kind of optimisation that can break the paper's structural guarantees
+(the alpha free-block reserve, GIPT<->cTLB consistency, tagless
+residency) without moving the golden stats of the pinned traces.  This
+module provides the safety net: every design registers cheap, strictly
+read-only assertions over its own state, and an
+:class:`InvariantChecker` runs them every ``every`` accesses during a
+validated run.
+
+Validation is opt-in three ways, strongest first:
+
+- ``Simulator.run(..., validate=True)`` (what ``repro check`` uses);
+- ``JobSpec(validate=True)`` for individual harness jobs;
+- the ``REPRO_VALIDATE=1`` environment variable, which turns it on for
+  every run that did not explicitly decide (``REPRO_VALIDATE_EVERY``
+  overrides the check interval).
+
+Checks observe, never mutate: a validated run produces bit-identical
+statistics to an unvalidated one (the golden-stats suite enforces this).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+#: Accesses between check sweeps unless overridden.
+DEFAULT_CHECK_EVERY = 1024
+
+ENV_ENABLE = "REPRO_VALIDATE"
+ENV_EVERY = "REPRO_VALIDATE_EVERY"
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+class InvariantViolation(SimulationError):
+    """A registered structural invariant failed during a validated run."""
+
+
+def validation_enabled(default: bool = False) -> bool:
+    """Has the user switched validation on via ``REPRO_VALIDATE``?"""
+    value = os.environ.get(ENV_ENABLE)
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSEY
+
+
+def check_interval(default: int = DEFAULT_CHECK_EVERY) -> int:
+    """Check interval from ``REPRO_VALIDATE_EVERY`` (falls back to
+    ``default``)."""
+    value = os.environ.get(ENV_EVERY)
+    if value is None or not value.strip():
+        return default
+    try:
+        every = int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"{ENV_EVERY}={value!r} is not an integer"
+        ) from None
+    if every < 1:
+        raise ConfigurationError(f"{ENV_EVERY} must be >= 1, got {every}")
+    return every
+
+
+class InvariantChecker:
+    """Periodically runs the read-only checks a design registers.
+
+    Construction asks the design to register its checks
+    (:meth:`~repro.designs.base.MemorySystemDesign.register_invariants`);
+    :meth:`install` then wraps ``design.access_cycles`` as an *instance*
+    attribute so every N-th access triggers a sweep.  The multicore
+    engine binds ``access_cycles`` once at loop start, so install the
+    checker before the run begins.  The wrapper only counts and calls
+    the checks -- simulation state and statistics are untouched.
+    """
+
+    def __init__(self, design, every: int = DEFAULT_CHECK_EVERY):
+        if every < 1:
+            raise ValueError(f"check interval must be >= 1, got {every}")
+        self.design = design
+        self.every = every
+        self.checks: List[Tuple[str, Callable[[], None]]] = []
+        self.sweeps = 0
+        self._installed = False
+        design.register_invariants(self)
+
+    def register(self, name: str, check: Callable[[], None]) -> None:
+        """Add one named, zero-argument, read-only check.
+
+        The check signals a violation by raising
+        :class:`~repro.common.errors.SimulationError` (or the more
+        specific :class:`InvariantViolation`); the sweep wraps either
+        into an :class:`InvariantViolation` naming the check.
+        """
+        self.checks.append((name, check))
+
+    def run_checks(self) -> None:
+        """Run every registered check once (one sweep)."""
+        self.sweeps += 1
+        for name, check in self.checks:
+            try:
+                check()
+            except SimulationError as exc:
+                raise InvariantViolation(
+                    f"[{self.design.name}] {name}: {exc}"
+                ) from None
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Shadow ``design.access_cycles`` with a counting wrapper."""
+        if self._installed:
+            return
+        inner = self.design.access_cycles  # bound method from the class
+        every = self.every
+        countdown = [every]
+
+        def checked_access_cycles(core_id, process_id, virtual_page,
+                                  line_index, is_write, now_ns):
+            cycles = inner(core_id, process_id, virtual_page, line_index,
+                           is_write, now_ns)
+            countdown[0] -= 1
+            if countdown[0] <= 0:
+                countdown[0] = every
+                self.run_checks()
+            return cycles
+
+        self.design.access_cycles = checked_access_cycles
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Remove the wrapper, restoring the class's ``access_cycles``."""
+        if self._installed:
+            del self.design.access_cycles  # the instance attribute
+            self._installed = False
+
+
+# ----------------------------------------------------------------------
+# Shared check helpers (used by the designs' register_invariants hooks)
+# ----------------------------------------------------------------------
+def check_tlb_hierarchy(hierarchy, label: str) -> None:
+    """L1 within capacity and a subset of L2 (the hierarchy is inclusive,
+    which is what lets GIPT residence track only L2 membership)."""
+    l1, l2 = hierarchy.l1, hierarchy.l2
+    if len(l1._map) > l1.capacity:
+        raise SimulationError(
+            f"{label}: L1 TLB holds {len(l1._map)} > {l1.capacity} entries"
+        )
+    if len(l2._map) > l2.capacity:
+        raise SimulationError(
+            f"{label}: L2 TLB holds {len(l2._map)} > {l2.capacity} entries"
+        )
+    l2_map = l2._map
+    for virtual_page in l1._map:
+        if virtual_page not in l2_map:
+            raise SimulationError(
+                f"{label}: VA page {virtual_page:#x} in L1 TLB but not L2 "
+                "(inclusion broken)"
+            )

@@ -1,0 +1,243 @@
+"""Slow-but-obvious reference model of the set-associative structures.
+
+``repro.sram.set_assoc`` fuses residency and recency into one
+insertion-ordered dict for LRU/FIFO and pairs a lazy versioned ring with
+the residency map for CLOCK.  This module re-implements the same
+semantics the straightforward way -- explicit per-set recency lists, an
+eager CLOCK hand -- and replays randomized operation traces through both,
+comparing hits, victims, dirty write-backs and full structure state.
+
+The random policy is deliberately excluded: its swap-pop optimisation
+intentionally remaps which resident a given RNG draw selects (documented
+in ``replacement.py``), so the two implementations agree only in
+distribution, not trace-by-trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.sram.set_assoc import SetAssociativeCache
+from repro.validate.invariants import InvariantViolation
+
+#: Policies the reference model covers (deterministic victim orders).
+REFERENCE_POLICIES = ("lru", "fifo", "clock")
+
+
+class _ReferenceSet:
+    """One set: an explicit order list, dirty bits, and CLOCK ref bits.
+
+    ``order`` is the eviction order, front = next victim candidate.  For
+    LRU that is recency order; for FIFO insertion order; for CLOCK the
+    hand's rotation order (the hand always sits at the front).
+    """
+
+    def __init__(self, ways: int, policy: str):
+        self.ways = ways
+        self.policy = policy
+        self.order: List[int] = []
+        self.dirty: Dict[int, bool] = {}
+        self.referenced: Dict[int, bool] = {}
+
+    def lookup(self, key: int, is_write: bool) -> bool:
+        if key not in self.dirty:
+            return False
+        if self.policy == "lru":
+            self.order.remove(key)
+            self.order.append(key)
+        elif self.policy == "clock":
+            self.referenced[key] = True
+        if is_write:
+            self.dirty[key] = True
+        return True
+
+    def victim(self) -> int:
+        if self.policy in ("lru", "fifo"):
+            return self.order[0]
+        # CLOCK: rotate past referenced keys, clearing their bit; the
+        # first unreferenced key under the hand is the victim.
+        while True:
+            key = self.order[0]
+            if self.referenced[key]:
+                self.referenced[key] = False
+                self.order.append(self.order.pop(0))
+                continue
+            return key
+
+    def insert(self, key: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        """Returns the (victim, victim_dirty) eviction, if any."""
+        if key in self.dirty:
+            if self.policy == "lru":
+                self.order.remove(key)
+                self.order.append(key)
+            elif self.policy == "clock":
+                # The fast structure routes a resident re-insert through
+                # policy.on_access, which sets the reference bit.
+                self.referenced[key] = True
+            # FIFO: a resident re-insert leaves the order untouched.
+            self.dirty[key] = self.dirty[key] or dirty
+            return None
+        evicted = None
+        if len(self.dirty) >= self.ways:
+            victim = self.victim()
+            self.order.remove(victim)
+            evicted = (victim, self.dirty.pop(victim))
+            self.referenced.pop(victim, None)
+        self.order.append(key)
+        self.dirty[key] = dirty
+        if self.policy == "clock":
+            self.referenced[key] = False
+        return evicted
+
+    def invalidate(self, key: int) -> Optional[Tuple[int, bool]]:
+        if key not in self.dirty:
+            return None
+        self.order.remove(key)
+        self.referenced.pop(key, None)
+        return (key, self.dirty.pop(key))
+
+    def mark_dirty(self, key: int) -> None:
+        if key in self.dirty:
+            self.dirty[key] = True
+
+
+class ReferenceSetAssociativeCache:
+    """Eager, list-based twin of :class:`SetAssociativeCache`."""
+
+    def __init__(self, num_sets: int, ways: int, policy: str = "lru"):
+        if policy not in REFERENCE_POLICIES:
+            raise ValueError(
+                f"reference model covers {REFERENCE_POLICIES}, not {policy!r}"
+            )
+        self.num_sets = num_sets
+        self.ways = ways
+        self.policy = policy
+        self._sets = [_ReferenceSet(ways, policy) for _ in range(num_sets)]
+
+    def _set_for(self, key: int) -> _ReferenceSet:
+        return self._sets[key % self.num_sets]
+
+    def lookup(self, key: int, is_write: bool = False) -> bool:
+        return self._set_for(key).lookup(key, is_write)
+
+    def contains(self, key: int) -> bool:
+        return key in self._set_for(key).dirty
+
+    def insert(self, key: int, dirty: bool = False):
+        return self._set_for(key).insert(key, dirty)
+
+    def invalidate(self, key: int):
+        return self._set_for(key).invalidate(key)
+
+    def mark_dirty(self, key: int) -> None:
+        self._set_for(key).mark_dirty(key)
+
+
+# ----------------------------------------------------------------------
+# State extraction from the optimized structure, for deep comparison
+# ----------------------------------------------------------------------
+def _fast_set_state(cache: SetAssociativeCache, index: int):
+    """(ordered keys or residency set, dirty map, ref bits) of one set."""
+    cache_set = cache._sets[index]
+    entries = cache_set.entries
+    policy = cache_set.policy
+    if policy is None:  # fused LRU/FIFO: dict order IS the order
+        return list(entries), dict(entries), None
+    # CLOCK: live ring order (stale slots filtered), front = hand.
+    ring = [key for key, version in policy._ring
+            if key in policy._referenced and policy._version[key] == version]
+    return ring, dict(entries), dict(policy._referenced)
+
+
+def _compare_state(fast: SetAssociativeCache,
+                   reference: ReferenceSetAssociativeCache,
+                   op_index: int) -> None:
+    for index in range(fast.num_sets):
+        order, dirty, refbits = _fast_set_state(fast, index)
+        ref_set = reference._sets[index]
+        if order != ref_set.order:
+            raise InvariantViolation(
+                f"op {op_index}, set {index}: replacement order diverged -- "
+                f"optimized {order} vs reference {ref_set.order}"
+            )
+        if dirty != ref_set.dirty:
+            raise InvariantViolation(
+                f"op {op_index}, set {index}: dirty bits diverged -- "
+                f"optimized {dirty} vs reference {ref_set.dirty}"
+            )
+        if refbits is not None and refbits != ref_set.referenced:
+            raise InvariantViolation(
+                f"op {op_index}, set {index}: CLOCK ref bits diverged -- "
+                f"optimized {refbits} vs reference {ref_set.referenced}"
+            )
+
+
+def run_reference_differential(policy: str, num_sets: int = 4, ways: int = 8,
+                               operations: int = 20_000, seed: int = 0,
+                               state_check_every: int = 64,
+                               fast: Optional[SetAssociativeCache] = None,
+                               ) -> dict:
+    """Drive both implementations with one randomized op trace.
+
+    Raises :class:`InvariantViolation` at the first divergence; returns a
+    small summary dict on success.  ``fast`` lets mutation tests pass in
+    a structure they intend to corrupt mid-run.
+    """
+    if fast is None:
+        fast = SetAssociativeCache(num_sets, ways, policy=policy)
+    reference = ReferenceSetAssociativeCache(num_sets, ways, policy=policy)
+    rng = random.Random(seed)
+    # Key space ~2x capacity so sets stay full and evictions are common.
+    key_space = max(2 * num_sets * ways, 16)
+    counts = {"lookup": 0, "insert": 0, "invalidate": 0, "mark_dirty": 0}
+
+    for op_index in range(operations):
+        key = rng.randrange(key_space)
+        roll = rng.random()
+        if roll < 0.55:  # demand access: lookup, insert on miss
+            counts["lookup"] += 1
+            is_write = rng.random() < 0.3
+            hit_fast = fast.lookup(key, is_write)
+            hit_ref = reference.lookup(key, is_write)
+            if hit_fast != hit_ref:
+                raise InvariantViolation(
+                    f"op {op_index}: lookup({key}) hit mismatch -- "
+                    f"optimized {hit_fast} vs reference {hit_ref}"
+                )
+            if not hit_fast:
+                counts["insert"] += 1
+                ev_fast = fast.insert(key, dirty=is_write)
+                ev_ref = reference.insert(key, is_write)
+                _compare_evictions(ev_fast, ev_ref, key, op_index)
+        elif roll < 0.75:  # prefetch-style direct insert
+            counts["insert"] += 1
+            dirty = rng.random() < 0.3
+            ev_fast = fast.insert(key, dirty=dirty)
+            ev_ref = reference.insert(key, dirty)
+            _compare_evictions(ev_fast, ev_ref, key, op_index)
+        elif roll < 0.9:  # invalidate (shootdown)
+            counts["invalidate"] += 1
+            ev_fast = fast.invalidate(key)
+            ev_ref = reference.invalidate(key)
+            _compare_evictions(ev_fast, ev_ref, key, op_index)
+        else:  # background dirty-bit update
+            counts["mark_dirty"] += 1
+            fast.mark_dirty(key)
+            reference.mark_dirty(key)
+        if (op_index + 1) % state_check_every == 0:
+            _compare_state(fast, reference, op_index)
+
+    _compare_state(fast, reference, operations)
+    counts["operations"] = operations
+    counts["policy"] = policy
+    return counts
+
+
+def _compare_evictions(ev_fast, ev_ref, key: int, op_index: int) -> None:
+    fast_pair = (ev_fast.key, ev_fast.dirty) if ev_fast is not None else None
+    if fast_pair != ev_ref:
+        raise InvariantViolation(
+            f"op {op_index}: insert/invalidate({key}) eviction mismatch -- "
+            f"optimized {fast_pair} vs reference {ev_ref}"
+        )

@@ -72,11 +72,24 @@ class TraceGenerator:
         profile = self.profile
         if accesses is None:
             accesses = profile.default_accesses
-        if accesses <= 0:
-            raise ConfigurationError("trace length must be positive")
+        if accesses < 0:
+            raise ConfigurationError("trace length must be non-negative")
         if not (0 <= thread_id < num_threads):
             raise ConfigurationError(
                 f"thread_id {thread_id} outside 0..{num_threads - 1}"
+            )
+        if accesses == 0:
+            # Legal degenerate case (zero-length smoke runs): an empty
+            # trace, produced before any RNG draw so the streams of
+            # positive-length traces are untouched.
+            return AccessTrace(
+                name=profile.name,
+                virtual_pages=np.empty(0, dtype=np.int64),
+                lines=np.empty(0, dtype=np.int16),
+                writes=np.empty(0, dtype=bool),
+                instruction_gaps=np.empty(0, dtype=np.int64),
+                base_cpi=profile.base_cpi,
+                mlp=profile.mlp,
             )
         rng = generator_for(
             "trace", profile.name, self.capacity_scale, self.seed_tag,

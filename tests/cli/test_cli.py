@@ -203,3 +203,36 @@ def test_profile_text_report(capsys):
 def test_profile_rejects_bad_top(capsys):
     with pytest.raises(SystemExit):
         main(["profile", "--top", "0"])
+
+
+def test_check_smoke_single_design(capsys):
+    code, out = run_cli(capsys, "check", "--smoke", "--design", "tagless")
+    assert code == 0
+    assert "[ok]   tagless" in out
+    assert "[ok]   lru" in out
+    assert "check: PASS" in out
+
+
+def test_check_smoke_runs_bound_chain(capsys):
+    code, out = run_cli(capsys, "check", "--smoke",
+                        "--design", "tagless", "no-l3")
+    assert code == 0
+    assert "service_ratio[tagless] >= service_ratio[no-l3]" in out
+    assert "check: PASS" in out
+
+
+def test_check_rejects_negative_accesses():
+    with pytest.raises(SystemExit):
+        main(["check", "--design", "tagless", "--accesses", "-5"])
+
+
+def test_check_rejects_unknown_design():
+    with pytest.raises(SystemExit):
+        main(["check", "--design", "not-a-design"])
+
+
+def test_sweep_validate_flag_parses():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--designs", "tagless",
+                              "--workloads", "sphinx3", "--validate"])
+    assert args.validate is True

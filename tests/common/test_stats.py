@@ -56,6 +56,44 @@ class TestStatGroup:
         assert g["k"] == 0.0
         assert "k" not in g
 
+    def test_add_after_set_accumulates(self):
+        # set() establishes a gauge baseline; add() keeps counting on top
+        # of it.  The two are the same counter namespace, not two kinds.
+        g = StatGroup("x")
+        g.set("gauge", 10)
+        g.add("gauge", 2)
+        assert g["gauge"] == 12
+
+    def test_set_defines_membership(self):
+        g = StatGroup("x")
+        g.set("gauge", 0.0)
+        assert "gauge" in g  # explicitly set, even to zero
+        assert "other" not in g
+
+    def test_merge_sums_gauges_too(self):
+        # merge() is additive for *every* key: per-core groups merged at
+        # report time sum their gauges (e.g. occupancy per device), so a
+        # gauge meant to be machine-global must live in one group only.
+        a, b = StatGroup("a"), StatGroup("b")
+        a.set("occupancy", 3)
+        b.set("occupancy", 4)
+        a.merge(b)
+        assert a["occupancy"] == 7
+
+    def test_merge_does_not_alias_source(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        b.add("k", 2)
+        a.merge(b)
+        b.add("k", 5)
+        assert a["k"] == 2
+
+    def test_as_dict_is_a_snapshot(self):
+        g = StatGroup("x")
+        g.add("k", 1)
+        snapshot = g.as_dict()
+        g.add("k", 1)
+        assert snapshot == {"k": 1.0}
+
 
 class TestMergeStatDicts:
     def test_merges_keywise(self):
@@ -64,6 +102,24 @@ class TestMergeStatDicts:
 
     def test_empty(self):
         assert merge_stat_dicts([]) == {}
+
+    def test_single_dict_is_copied(self):
+        source = {"a": 1.0}
+        merged = merge_stat_dicts([source])
+        merged["a"] = 9.0
+        assert source == {"a": 1.0}
+
+    def test_matches_statgroup_merge(self):
+        # The flat-dict path and the StatGroup path are two routes to the
+        # same aggregate; they must agree key-for-key.
+        a, b = StatGroup("a"), StatGroup("b")
+        a.add("hits", 1)
+        a.set("occupancy", 3)
+        b.add("hits", 2)
+        b.set("occupancy", 4)
+        flat = merge_stat_dicts([a.as_dict(), b.as_dict()])
+        a.merge(b)
+        assert flat == a.as_dict()
 
 
 class TestGeometricMean:

@@ -108,3 +108,24 @@ def test_env_var_picks_cache_dir(tmp_path, monkeypatch):
     assert cache_mod.resolve_cache_dir().startswith(
         os.path.expanduser("~")
     )
+
+
+def test_code_fingerprint_has_version_prefix():
+    import repro
+    from repro.harness.jobs import code_fingerprint
+
+    fingerprint = code_fingerprint()
+    assert fingerprint.startswith(repro.__version__)
+    assert code_fingerprint() is fingerprint  # memoised
+
+
+def test_version_bump_invalidates_cached_entries(tmp_path, monkeypatch):
+    """A result cached by one build must never replay under another."""
+    from repro.harness import jobs as jobs_mod
+
+    cache = ResultCache(str(tmp_path))
+    cache.put(SPEC, execute_job(SPEC))
+    assert cache.get(SPEC) is not None
+    monkeypatch.setattr(jobs_mod, "_FINGERPRINT",
+                        jobs_mod.code_fingerprint() + ".bumped")
+    assert cache.get(SPEC) is None  # different key: a clean miss

@@ -25,9 +25,11 @@ def test_unknown_workload_rejected():
 
 def test_invalid_knobs_rejected():
     with pytest.raises(ConfigurationError):
-        JobSpec(design="tagless", workload="sphinx3", accesses=0)
+        JobSpec(design="tagless", workload="sphinx3", accesses=-1)
     with pytest.raises(ConfigurationError):
         JobSpec(design="tagless", workload="sphinx3", warmup_fraction=1.0)
+    # Zero-length runs are legal degenerate cases, not config errors.
+    assert JobSpec(design="tagless", workload="sphinx3", accesses=0)
 
 
 def test_spec_is_hashable_and_round_trips():
@@ -119,3 +121,25 @@ def test_execute_job_restores_overridden_seed():
     assert rng.BASE_SEED == before
     # A different base seed re-rolls the trace, so metrics move.
     assert reseeded.ipc_sum != default.ipc_sum
+
+
+def test_cache_key_tracks_code_fingerprint(monkeypatch):
+    from repro.harness import jobs as jobs_mod
+
+    spec = JobSpec(design="tagless", workload="sphinx3", accesses=4_000)
+    before = spec.cache_key()
+    monkeypatch.setattr(jobs_mod, "_FINGERPRINT",
+                        jobs_mod.code_fingerprint() + ".bumped")
+    assert spec.cache_key() != before
+
+
+def test_zero_access_job_executes_cleanly():
+    import math
+
+    result = execute_job(
+        JobSpec(design="tagless", workload="sphinx3", accesses=0)
+    )
+    assert result.stats["accesses"] == 0.0
+    assert result.ipc_sum == 0.0
+    assert not math.isnan(result.edp)
+    assert result.mean_l3_latency_cycles == 0.0

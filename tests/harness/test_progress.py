@@ -1,0 +1,87 @@
+"""Progress-reporter tests: line format and degenerate-run guards."""
+
+import io
+
+from repro.harness.cache import CacheStats
+from repro.harness.jobs import JobResult, JobSpec
+from repro.harness.progress import ProgressReporter
+
+SPEC = JobSpec(design="tagless", workload="sphinx3", accesses=2_000)
+
+
+def outcome(**overrides):
+    fields = dict(spec=SPEC, result=None, error=None, wall_time_s=0.5,
+                  cache_status="off")
+    fields.update(overrides)
+    return JobResult(**fields)
+
+
+def reporter(**kwargs):
+    stream = io.StringIO()
+    return ProgressReporter(stream=stream, **kwargs), stream
+
+
+def test_job_lines_and_summary():
+    rep, stream = reporter(total=3)
+    rep.job_done(outcome())
+    rep.job_done(outcome(error="boom", cache_status="miss"))
+    text = stream.getvalue()
+    assert "[1/3] tagless/sphinx3@1024MB ok" in text
+    assert "ERROR boom" in text
+    assert "cache miss" in text
+    summary = rep.summary()
+    assert "2 jobs" in summary
+    assert "1 errors" in summary
+    assert "jobs/s" in summary
+
+
+def test_eta_appears_once_progress_exists():
+    rep, stream = reporter(total=10)
+    rep.job_done(outcome())
+    assert ", eta " in stream.getvalue()
+
+
+def test_eta_suppressed_without_total():
+    rep, stream = reporter()
+    rep.job_done(outcome())
+    assert ", eta " not in stream.getvalue()
+    assert "[1/?]" in stream.getvalue()
+
+
+def test_eta_suppressed_on_final_job():
+    rep, stream = reporter(total=1)
+    rep.job_done(outcome())
+    assert ", eta " not in stream.getvalue()
+
+
+def test_zero_job_summary_has_no_rate():
+    # An empty sweep (everything filtered out, or --accesses 0 smoke
+    # plumbing) must not divide by zero or report nan jobs/s.
+    rep, _ = reporter(total=0)
+    summary = rep.summary()
+    assert "0 jobs" in summary
+    assert "jobs/s" not in summary
+    assert "nan" not in summary
+
+
+def test_instant_run_guard(monkeypatch):
+    # All cache hits on a fast disk: elapsed can round to exactly zero.
+    import repro.harness.progress as progress_mod
+
+    rep, stream = reporter(total=5)
+    monkeypatch.setattr(progress_mod.time, "perf_counter",
+                        lambda: rep._started)
+    rep.job_done(outcome(cache_status="hit"))
+    assert ", eta " not in stream.getvalue()
+    summary = rep.summary()
+    assert "jobs/s" not in summary
+    assert "nan" not in summary
+
+
+def test_disabled_reporter_still_counts():
+    rep, stream = reporter(total=2, enabled=False)
+    rep.job_done(outcome(cache_status="hit"))
+    assert rep.done == 1
+    assert rep.cache_hits == 1
+    assert stream.getvalue() == ""
+    assert "1 jobs" in rep.summary(CacheStats())

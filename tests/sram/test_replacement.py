@@ -113,3 +113,48 @@ class TestFactory:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):
             make_policy("belady")
+
+
+class TestClockCompaction:
+    """Lazy eviction must not let stale ring slots pile up forever."""
+
+    def test_ring_bounded_under_mixed_churn(self):
+        import random
+
+        p = ClockPolicy()
+        rng = random.Random(1)
+        for _ in range(100_000):
+            if len(p) >= 8:
+                p.on_evict(p.victim())
+            key = rng.randrange(32)
+            if key in p._referenced:
+                # Resident re-insert: stales the old slot.
+                p.on_insert(key) if rng.random() < 0.5 else p.on_access(key)
+            else:
+                p.on_insert(key)
+            assert len(p._ring) <= 2 * len(p) + 1
+        assert p._stale <= len(p)
+
+    def test_invalidate_only_churn_is_compacted(self):
+        # The pathological caller: inserts and invalidates but never asks
+        # for a victim, so the hand never sweeps stale slots away.
+        p = ClockPolicy()
+        for i in range(100_000):
+            p.on_insert(i % 16)
+            p.on_evict(i % 16)
+            assert len(p._ring) <= 2 * len(p) + 1
+        assert len(p) == 0
+        assert len(p._ring) == 0
+        assert not p._version
+
+    def test_compaction_preserves_hand_order(self):
+        p = ClockPolicy()
+        for key in range(8):
+            p.on_insert(key)
+        p.on_access(5)
+        for key in range(5):
+            p.on_evict(key)  # the 5th eviction triggers compaction
+        assert p._stale == 0
+        assert list(p._ring) == [(5, 1), (6, 1), (7, 1)]
+        # 5 still holds its reference bit: second chance, then 6 evicts.
+        assert p.victim() == 6

@@ -1,0 +1,99 @@
+"""Cross-design bound tests: the chain holds, failures are loud."""
+
+import pytest
+
+from repro.cpu.multicore import BoundTrace
+from repro.validate.differential import (
+    BOUND_CHAIN,
+    BoundCheck,
+    DifferentialReport,
+    in_package_service_ratio,
+    run_cross_design_bounds,
+)
+from repro.validate.invariants import InvariantViolation
+
+
+@pytest.fixture(scope="module")
+def report_and_results():
+    import dataclasses
+
+    from repro.common.config import default_system
+    from repro.workloads.generator import TraceGenerator
+    from repro.workloads.spec import spec_profile
+
+    config = dataclasses.replace(
+        default_system(cache_megabytes=128, num_cores=1, capacity_scale=512),
+        tlb_scale=32,
+    )
+    trace = TraceGenerator(spec_profile("sphinx3"),
+                           capacity_scale=512).generate(3000)
+    results = {}
+    report = run_cross_design_bounds(
+        config, [BoundTrace(0, 0, trace)],
+        workload="sphinx3", validate=False, results=results,
+    )
+    return report, results
+
+
+def test_bound_chain_holds(report_and_results):
+    report, results = report_and_results
+    assert report.passed
+    assert report.accesses == 3000
+    assert set(results) == set(BOUND_CHAIN)
+    # The chain's anchors are exact by construction.
+    assert report.ratios["ideal"] == 1.0
+    assert report.ratios["no-l3"] == 0.0
+    # The interesting designs land strictly between them on this trace.
+    assert 0.0 < report.ratios["tagless"] <= 1.0
+    report.raise_on_failure()  # no-op on a passing report
+
+
+def test_offpkg_ceiling_is_no_l3(report_and_results):
+    report, _ = report_and_results
+    ceiling = report.offpkg_demand["no-l3"]
+    assert ceiling > 0
+    for name, demand in report.offpkg_demand.items():
+        assert demand <= ceiling
+
+
+def test_table_mentions_every_check(report_and_results):
+    report, _ = report_and_results
+    text = report.table()
+    assert "sphinx3" in text
+    for check in report.checks:
+        assert check.name in text
+    assert "[FAIL]" not in text
+
+
+def test_failing_report_raises():
+    report = DifferentialReport(
+        workload="w", accesses=1, ratios={}, offpkg_demand={},
+        checks=[BoundCheck(name="broken", passed=False, detail="1 vs 2")],
+    )
+    assert not report.passed
+    with pytest.raises(InvariantViolation, match="broken: 1 vs 2"):
+        report.raise_on_failure()
+
+
+def test_service_ratio_definitions():
+    assert in_package_service_ratio("ideal", {}) == 1.0
+    assert in_package_service_ratio("no-l3", {}) == 0.0
+    stats = {"cache_accesses": 80.0, "nc_accesses": 20.0,
+             "engine_fills": 30.0}
+    assert in_package_service_ratio("tagless", stats) == pytest.approx(0.5)
+    assert in_package_service_ratio(
+        "bi", {"l3_accesses": 10.0, "in_package_hits": 4.0}
+    ) == pytest.approx(0.4)
+    assert in_package_service_ratio(
+        "sram", {"l3_hits": 3.0, "l3_misses": 1.0}
+    ) == pytest.approx(0.75)
+
+
+def test_service_ratio_empty_stats_degrade_to_zero():
+    for name in ("tagless", "bi", "sram", "alloy"):
+        assert in_package_service_ratio(name, {}) == 0.0
+
+
+def test_service_ratio_unknown_design():
+    with pytest.raises(ValueError):
+        in_package_service_ratio("mystery", {})

@@ -121,9 +121,21 @@ def test_threads_share_hot_set_but_split_streams():
 def test_invalid_requests_rejected():
     gen = TraceGenerator(make_profile())
     with pytest.raises(ConfigurationError):
-        gen.generate(0)
+        gen.generate(-1)
     with pytest.raises(ConfigurationError):
         gen.generate(100, thread_id=4, num_threads=4)
+
+
+def test_zero_length_trace_is_legal_and_empty():
+    gen = TraceGenerator(make_profile())
+    trace = gen.generate(0)
+    assert len(trace) == 0
+    assert trace.virtual_pages.dtype == np.int64
+    # The degenerate case must not perturb positive-length streams.
+    assert np.array_equal(
+        gen.generate(100).virtual_pages,
+        TraceGenerator(make_profile()).generate(100).virtual_pages,
+    )
 
 
 @settings(max_examples=15, deadline=None)

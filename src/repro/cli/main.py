@@ -40,6 +40,15 @@ def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="compute every point fresh; do not read or "
                              "write the result cache")
+    parser.add_argument("--trace", dest="trace_out", default=None,
+                        metavar="PATH",
+                        help="write a Perfetto JSON trace of the harness "
+                             "job lifecycle to PATH")
+    parser.add_argument("--timeseries", dest="timeseries_out", default=None,
+                        metavar="PATH",
+                        help="write a JSONL progress time-series "
+                             "(jobs/errors/cache hits over wall time) to "
+                             "PATH")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,12 +60,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list workload models and mixes")
 
-    trace = sub.add_parser("trace", help="generate a synthetic trace")
-    trace.add_argument("workload", help="SPEC or PARSEC program name")
-    trace.add_argument("--accesses", type=int, default=100_000)
+    trace = sub.add_parser(
+        "trace",
+        help="generate a synthetic trace, or capture telemetry "
+             "(Perfetto trace + time-series) from a simulation",
+    )
+    trace.add_argument(
+        "target", nargs="?", default=None,
+        help="a design name captures telemetry from a simulated run "
+             f"({', '.join(ALL_DESIGN_NAMES)}); any other name is a "
+             "workload and generates a synthetic trace (legacy mode)",
+    )
+    trace.add_argument("workload", nargs="?", default=None,
+                       help="workload for capture mode "
+                            "(SPEC/PARSEC program or MIX1..MIX8)")
+    trace.add_argument("--accesses", type=int, default=None,
+                       help="trace length (default: 100k generate, "
+                            "20k capture, 2k smoke)")
     trace.add_argument("--scale", type=int, default=64,
                        help="capacity scale factor (default 64)")
-    trace.add_argument("--out", help="save as .npz to this path")
+    trace.add_argument("--out", help="save as .npz to this path "
+                                     "(generate mode)")
+    trace.add_argument("--cache-mb", type=int, default=1024)
+    trace.add_argument("--replacement", default="fifo",
+                       choices=("fifo", "lru", "clock"))
+    trace.add_argument("--warmup", type=float, default=0.25)
+    trace.add_argument("--interval", type=int, default=1024,
+                       help="time-series window size (default 1024)")
+    trace.add_argument("--interval-unit", default="accesses",
+                       choices=("accesses", "cycles"),
+                       help="window unit (default accesses)")
+    trace.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="Perfetto JSON path (default "
+                            "<design>-<workload>.perfetto.json)")
+    trace.add_argument("--timeseries-out", default=None, metavar="PATH",
+                       help="time-series artifact path; a .csv suffix "
+                            "switches format (default "
+                            "<design>-<workload>.timeseries.jsonl)")
+    trace.add_argument("--smoke", action="store_true",
+                       help="CI gate: capture every design on a short "
+                            "trace into a temp dir and validate the "
+                            "artifacts (exit non-zero on any failure)")
 
     run = sub.add_parser("run", help="simulate a workload on a design")
     run.add_argument("design", choices=ALL_DESIGN_NAMES)
@@ -72,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "unmeasured (default 0.25)")
     run.add_argument("--json", action="store_true",
                      help="emit metrics as JSON")
+    run.add_argument("--trace", dest="trace_out", default=None,
+                     metavar="PATH",
+                     help="capture a Perfetto JSON event trace of the "
+                          "measured window to PATH")
+    run.add_argument("--timeseries", dest="timeseries_out", default=None,
+                     metavar="PATH",
+                     help="capture a windowed time-series artifact to "
+                          "PATH (.csv suffix switches format)")
+    run.add_argument("--interval", type=int, default=1024,
+                     help="time-series window size in accesses "
+                          "(default 1024)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -141,6 +196,19 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="emit the report as JSON")
 
+    report = sub.add_parser(
+        "report",
+        help="render a time-series artifact as ASCII sparklines",
+    )
+    report.add_argument("artifact",
+                        help="path to a .timeseries.jsonl/.csv artifact "
+                             "(from `repro trace` or --timeseries)")
+    report.add_argument("--width", type=int, default=60,
+                        help="sparkline width in characters (default 60)")
+    report.add_argument("--metrics", nargs="+", default=None,
+                        metavar="COLUMN",
+                        help="only render these columns (default: all)")
+
     validate = sub.add_parser(
         "validate",
         help="grade the paper's headline claims against this build",
@@ -200,9 +268,37 @@ def _profile_for(workload: str):
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    profile = _profile_for(args.workload)
+    """Dispatch the dual-mode ``trace`` subcommand.
+
+    ``repro trace <design> <workload>`` captures telemetry from a
+    simulated run; ``repro trace <workload>`` keeps the original
+    synthetic-trace generator (design names and workload names do not
+    collide, so the first positional disambiguates); ``--smoke`` runs
+    the CI artifact gate over every design.
+    """
+    if args.smoke:
+        return _trace_smoke(args)
+    if args.target is None:
+        raise SystemExit(
+            "trace needs a design (capture) or workload (generate); "
+            "see `repro trace --help`"
+        )
+    if args.target in ALL_DESIGN_NAMES:
+        return _trace_capture(args)
+    if args.workload is not None:
+        raise SystemExit(
+            f"unknown design {args.target!r}; capture mode is "
+            f"`repro trace <design> <workload>` with design one of: "
+            f"{', '.join(ALL_DESIGN_NAMES)}"
+        )
+    return _trace_generate(args)
+
+
+def _trace_generate(args: argparse.Namespace) -> int:
+    profile = _profile_for(args.target)
     generator = TraceGenerator(profile, capacity_scale=args.scale)
-    trace = generator.generate(args.accesses)
+    accesses = args.accesses if args.accesses is not None else 100_000
+    trace = generator.generate(accesses)
     print(f"{trace.name}: {len(trace)} accesses, "
           f"{trace.footprint_pages} pages, "
           f"apki {trace.accesses_per_kilo_instruction:.1f}, "
@@ -212,6 +308,164 @@ def cmd_trace(args: argparse.Namespace) -> int:
         save_trace(trace, args.out)
         print(f"saved to {args.out}")
     return 0
+
+
+def _trace_capture(args: argparse.Namespace) -> int:
+    """Run one design/workload point with telemetry and write artifacts."""
+    from repro.obs import make_telemetry
+
+    if args.workload is None:
+        raise SystemExit(
+            "capture mode needs a workload: repro trace <design> <workload>"
+        )
+    if not (0.0 <= args.warmup < 1.0):
+        raise SystemExit("--warmup must be in [0, 1)")
+    if args.interval < 1:
+        raise SystemExit("--interval must be >= 1")
+    accesses = args.accesses if args.accesses is not None else 20_000
+    config = default_system(
+        cache_megabytes=args.cache_mb,
+        num_cores=4 if args.workload in MIXES else 1,
+        replacement=args.replacement,
+        capacity_scale=args.scale,
+    )
+    bindings = _bindings_for(args.workload, accesses, args.scale)
+    telemetry = make_telemetry(interval=args.interval,
+                               unit=args.interval_unit)
+    result = Simulator(config).run(
+        args.target, bindings, warmup_fraction=args.warmup,
+        telemetry=telemetry,
+    )
+    stem = f"{args.target}-{args.workload}"
+    trace_path = args.trace_out or f"{stem}.perfetto.json"
+    timeseries_path = args.timeseries_out or f"{stem}.timeseries.jsonl"
+    telemetry.write_artifacts(trace_path, timeseries_path,
+                              workload=args.workload)
+    tracer = telemetry.tracer
+    print(f"{args.target} on {args.workload}: {accesses} accesses, "
+          f"IPC {result.ipc_sum:.3f}, "
+          f"{telemetry.timeseries.windows} windows, "
+          f"{len(tracer)} events retained ({tracer.dropped} dropped)")
+    print(f"trace:      {trace_path} (open at ui.perfetto.dev)")
+    print(f"timeseries: {timeseries_path} (render with `repro report`)")
+    return 0
+
+
+#: Time-series columns the smoke gate (and the paper's figures) require.
+_SMOKE_REQUIRED_COLUMNS = ("free_queue_depth", "ctlb_hit_rate",
+                           "offpkg_gbps")
+
+
+def _validate_trace_artifacts(trace_path: str,
+                              timeseries_path: str) -> List[str]:
+    """Schema checks for one captured artifact pair; returns problems."""
+    from repro.obs import load_timeseries
+
+    problems: List[str] = []
+    try:
+        with open(trace_path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"perfetto: unreadable ({exc})"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("perfetto: traceEvents missing or empty")
+        events = []
+    last_ts = None
+    open_slices: dict = {}
+    for index, event in enumerate(events):
+        missing = [k for k in ("name", "ph", "ts", "pid", "tid")
+                   if k not in event]
+        if missing:
+            problems.append(
+                f"perfetto: event {index} missing {','.join(missing)}"
+            )
+            continue
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"perfetto: event {index} bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append("perfetto: timestamps not monotonic")
+        last_ts = ts
+        key = (event["tid"], event["name"])
+        if phase == "B":
+            open_slices[key] = open_slices.get(key, 0) + 1
+        elif phase == "E":
+            if open_slices.get(key, 0) <= 0:
+                problems.append(f"perfetto: unmatched E for {event['name']}")
+            else:
+                open_slices[key] -= 1
+    unclosed = [name for (_tid, name), depth in open_slices.items()
+                if depth > 0]
+    if unclosed:
+        problems.append(f"perfetto: unclosed B slices: {unclosed}")
+
+    try:
+        _meta, columns, _histogram = load_timeseries(timeseries_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        problems.append(f"timeseries: unreadable ({exc})")
+        return problems
+    for column in _SMOKE_REQUIRED_COLUMNS:
+        if not columns.get(column):
+            problems.append(f"timeseries: missing {column} series")
+    return problems
+
+
+def _trace_smoke(args: argparse.Namespace) -> int:
+    """CI gate: every design must produce schema-valid artifacts."""
+    import os
+    import tempfile
+
+    from repro.obs import make_telemetry
+
+    designs = ALL_DESIGN_NAMES
+    if args.target is not None:
+        if args.target not in ALL_DESIGN_NAMES:
+            raise SystemExit(f"unknown design {args.target!r}")
+        designs = (args.target,)
+    workload = args.workload or "mcf"
+    accesses = args.accesses if args.accesses is not None else 2000
+    config = default_system(
+        cache_megabytes=args.cache_mb,
+        num_cores=4 if workload in MIXES else 1,
+        replacement=args.replacement,
+        capacity_scale=args.scale,
+    )
+    bindings = _bindings_for(workload, accesses, args.scale)
+    simulator = Simulator(config)
+    failures = 0
+    print(f"trace smoke: {len(designs)} designs x {accesses} accesses "
+          f"({workload})")
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+        for design in designs:
+            # Windows sized so even the short smoke trace produces a
+            # multi-window series for the column checks.
+            telemetry = make_telemetry(
+                interval=max(1, accesses // 8), unit=args.interval_unit,
+            )
+            simulator.run(design, bindings, warmup_fraction=args.warmup,
+                          telemetry=telemetry)
+            trace_path = os.path.join(tmp, f"{design}.perfetto.json")
+            timeseries_path = os.path.join(
+                tmp, f"{design}.timeseries.jsonl"
+            )
+            telemetry.write_artifacts(trace_path, timeseries_path,
+                                      workload=workload)
+            problems = _validate_trace_artifacts(trace_path,
+                                                 timeseries_path)
+            if problems:
+                failures += 1
+                print(f"  [FAIL] {design}: {'; '.join(problems)}")
+            else:
+                print(f"  [ok]   {design}: "
+                      f"{telemetry.timeseries.windows} windows, "
+                      f"{len(telemetry.tracer)} events")
+    print("trace smoke:", "PASS" if failures == 0 else f"FAIL ({failures})")
+    return 0 if failures == 0 else 1
 
 
 def _bindings_for(workload: str, accesses: int, scale: int) -> List[BoundTrace]:
@@ -236,8 +490,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     bindings = _bindings_for(args.workload, args.accesses, args.scale)
 
+    telemetry = None
+    if args.trace_out or args.timeseries_out:
+        from repro.obs import make_telemetry
+
+        if args.interval < 1:
+            raise SystemExit("--interval must be >= 1")
+        telemetry = make_telemetry(interval=args.interval)
     result = Simulator(config).run(
-        args.design, bindings, warmup_fraction=args.warmup
+        args.design, bindings, warmup_fraction=args.warmup,
+        telemetry=telemetry,
     )
     metrics = {
         "design": args.design,
@@ -251,6 +513,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         "energy_j": result.total_energy_j,
         "edp_js": result.edp,
     }
+    if telemetry is not None:
+        # Keys appear only when capture was requested, so the default
+        # output stays byte-identical.
+        telemetry.write_artifacts(args.trace_out, args.timeseries_out,
+                                  workload=args.workload)
+        if args.trace_out:
+            metrics["trace"] = args.trace_out
+        if args.timeseries_out:
+            metrics["timeseries"] = args.timeseries_out
     if args.json:
         print(json.dumps(metrics, indent=2))
     else:
@@ -281,14 +552,28 @@ def _build_harness(args: argparse.Namespace, name: str,
               "argv": sys.argv[1:]},
     )
     progress = ProgressReporter(total=total, label=name)
+    observer = None
+    if getattr(args, "trace_out", None) or getattr(args, "timeseries_out",
+                                                   None):
+        from repro.obs import HarnessObserver
+
+        observer = HarnessObserver(label=name)
+        observer.trace_path = args.trace_out
+        observer.timeseries_path = args.timeseries_out
     print(f"artifact: {artifact_path}", file=sys.stderr)
     return Harness(jobs=args.jobs, cache=cache, progress=progress,
-                   artifact=artifact)
+                   artifact=artifact, observer=observer)
 
 
 def _finish_harness(harness: Harness) -> None:
     cache_stats = harness.cache.stats if harness.cache else None
     harness.artifact.close(cache_stats)
+    if harness.observer is not None:
+        harness.observer.finish()
+        for path in (harness.observer.trace_path,
+                     harness.observer.timeseries_path):
+            if path:
+                print(f"telemetry: {path}", file=sys.stderr)
     harness.progress.summary(cache_stats)
 
 
@@ -454,11 +739,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     rows.sort(key=lambda row: row[sort_key], reverse=True)
     rows = rows[:args.top]
 
+    from repro.common import rng
+
     total_accesses = sum(len(binding.trace) for binding in bindings)
     report = {
         "design": args.design,
         "workload": args.workload,
         "accesses": total_accesses,
+        "seed": rng.BASE_SEED,
+        "cache_mb": args.cache_mb,
+        "scale": args.scale,
+        "replacement": args.replacement,
         "warmup_fraction": args.warmup,
         "seconds": elapsed,
         "accesses_per_second": (
@@ -481,6 +772,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(f"{row['ncalls']:>10d} {row['tottime_s']:>9.3f} "
               f"{row['cumtime_s']:>9.3f}  {row['function']} "
               f"({row['location']})")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a time-series artifact (JSONL or CSV) as sparklines."""
+    from repro.obs import load_timeseries, render_timeseries
+
+    if args.width < 1:
+        raise SystemExit("--width must be >= 1")
+    try:
+        meta, columns, histogram = load_timeseries(args.artifact)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read {args.artifact}: {exc}") from None
+    print(render_timeseries(meta, columns, histogram=histogram,
+                            width=args.width, metrics=args.metrics))
     return 0
 
 
@@ -581,6 +887,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
     "profile": cmd_profile,
+    "report": cmd_report,
     "validate": cmd_validate,
     "check": cmd_check,
 }

@@ -23,6 +23,7 @@ from repro.core.free_queue import FreeQueue
 from repro.core.gipt import GlobalInvertedPageTable
 from repro.core.policies import make_victim_tracker
 from repro.dram.device import DRAMDevice
+from repro.obs.events import null_event
 from repro.vm.page_table import PageTableEntry
 
 #: Bytes per GIPT entry as laid out in off-package memory (82 bits padded).
@@ -67,6 +68,10 @@ class TaglessCacheEngine:
             FootprintHistoryTable() if cache_config.footprint_caching
             else None
         )
+
+        #: Prebound no-op rebound by installed telemetry (repro.obs);
+        #: emission sites are all off the per-access path.
+        self.trace_event = null_event
 
         self.fills = 0
         self.fill_latency_ns = 0.0
@@ -151,6 +156,8 @@ class TaglessCacheEngine:
         pte.install_in_cache(cache_page)
         self.fills += 1
         self.fill_latency_ns += latency_ns
+        self.trace_event("cache", "fill", now_ns, latency_ns, core_id,
+                         {"ca": cache_page, "bytes": fill_bytes})
 
         self._maintain_alpha(now_ns)
         return cache_page, latency_ns
@@ -220,6 +227,9 @@ class TaglessCacheEngine:
                 # reach; record it and let the free pool run a deficit.
                 self.alpha_deficits += 1
                 self._alpha_deficit_ever = True
+                self.trace_event("cache", "alpha_deficit", now_ns, None, 0,
+                                 {"free": self.free_queue.free_blocks,
+                                  "alpha": self.free_queue.alpha})
                 break
             self.free_queue.enqueue_eviction(victim)
             self._drain_evictions(now_ns)
@@ -236,6 +246,8 @@ class TaglessCacheEngine:
             if cache_page is None:
                 return
             entry = self.gipt.remove(cache_page)
+            self.trace_event("cache", "evict", now_ns, None, 0,
+                             {"ca": cache_page, "dirty": entry.dirty})
             if self.on_page_evicted is not None:
                 # Stale on-die lines tagged with this cache address must
                 # go; their dirt is subsumed by the page write-back.
@@ -253,6 +265,9 @@ class TaglessCacheEngine:
                     asynchronous=True, num_bytes=resident_bytes,
                 )
                 self.writebacks += 1
+                self.trace_event("cache", "writeback", now_ns, None, 0,
+                                 {"ca": cache_page,
+                                  "bytes": resident_bytes})
             if self.footprint is not None:
                 # Teach the predictor what this residency actually used.
                 self.footprint.record(

@@ -71,7 +71,8 @@ class _CoreState:
         self.length = len(pages)
 
 
-def _run_single(state: _CoreState, access_cycles) -> None:
+def _run_single(state: _CoreState, access_cycles,
+                generic: bool = False) -> None:
     """Replay one core's remaining trace with no scheduling overhead.
 
     Used whenever only one core is (still) active -- the whole run for
@@ -79,7 +80,12 @@ def _run_single(state: _CoreState, access_cycles) -> None:
     MLP interval model's arithmetic is inlined (same operations in the
     same order as ``CoreTimingModel.advance_instructions`` /
     ``account_memory``, so the floats come out identical); other core
-    models fall back to method calls.
+    models fall back to method calls.  ``generic=True`` forces the
+    method-call branch: the inlined loop keeps the model's state in
+    locals until it exits, so observers that read the model mid-run
+    (repro.obs sampling per-core IPC from inside ``access_cycles``)
+    need the generic path -- which, per the above, produces identical
+    floats.
     """
     model = state.model
     pages = state.pages
@@ -91,7 +97,7 @@ def _run_single(state: _CoreState, access_cycles) -> None:
     core_id = state.core_id
     process_id = state.process_id
 
-    if type(model) is CoreTimingModel:
+    if not generic and type(model) is CoreTimingModel:
         base_cpi = model.base_cpi
         mlp = model.mlp
         l1_hit = model._l1_hit
@@ -166,6 +172,15 @@ def run_interleaved(
     active = [s for s in states if s.length > 0]
     access_cycles = design.access_cycles  # bind once; called per access
 
+    # Observability hook (repro.obs): installed telemetry sets
+    # ``obs_attach_cores`` to receive the core models for per-window
+    # IPC.  Attached cores force _run_single's generic branch so the
+    # models stay readable mid-run; with nothing installed this is one
+    # getattr per run.
+    attach = getattr(design, "obs_attach_cores", None)
+    if attach is not None:
+        attach([(s.core_id, s.model) for s in states])
+
     # Multi-core regime: step the earliest core one access at a time.
     # (4 cores: a linear argmin scan beats a heap.)  Ties go to the
     # earliest-bound core, matching min()'s first-minimum semantics.
@@ -193,7 +208,7 @@ def run_interleaved(
 
     # Single-core regime (or tail of a multi-core run): tight loop.
     if active:
-        _run_single(active[0], access_cycles)
+        _run_single(active[0], access_cycles, generic=attach is not None)
 
     return [
         CoreResult(

@@ -82,6 +82,7 @@ class Simulator:
         superpages: Optional[Dict[int, Sequence]] = None,
         validate: Optional[bool] = None,
         validate_every: Optional[int] = None,
+        telemetry=None,
     ) -> SimulationResult:
         """Simulate ``bindings`` on a fresh instance of ``design_name``.
 
@@ -105,6 +106,14 @@ class Simulator:
         breakage.  ``validate=None`` defers to the ``REPRO_VALIDATE``
         environment variable.  Checks are read-only: results are
         bit-identical with and without validation.
+
+        ``telemetry`` optionally attaches a
+        :class:`~repro.obs.telemetry.Telemetry` bundle for the measured
+        window: it installs after the warmup boundary (so, like the
+        statistics, it observes only measured behaviour) and uninstalls
+        before the invariant checker does, keeping the access_cycles
+        wrapper chain consistent.  Telemetry is strictly observational
+        -- results are bit-identical with and without it.
         """
         if not (0.0 <= warmup_fraction < 1.0):
             raise ValueError("warmup_fraction must be in [0, 1)")
@@ -153,7 +162,16 @@ class Simulator:
             run_interleaved(design, warm)
             design.reset_stats()
             bindings = measured
+        if telemetry is not None:
+            # After warmup (observe the measured window only), before
+            # run_interleaved binds access_cycles.  The sampling wrapper
+            # goes on top of the checker's, so it is removed first.
+            telemetry.install(design)
+            if checker is not None:
+                checker.tracer = telemetry.tracer
         cores = run_interleaved(design, bindings)
+        if telemetry is not None:
+            telemetry.uninstall()
         if checker is not None:
             checker.run_checks()  # final sweep over the end-of-run state
             checker.uninstall()

@@ -144,6 +144,13 @@ class AlloyCacheDesign(MemorySystemDesign):
         self.misses = 0
         self.writebacks = 0
 
+    def timeseries_probe(self):
+        counters, gauges = super().timeseries_probe()
+        counters["l3_hits"] = float(self.hits)
+        counters["l3_refs"] = float(self.hits + self.misses)
+        counters["writebacks"] = float(self.writebacks)
+        return counters, gauges
+
     def stats(self) -> dict:
         out = super().stats()
         out["l3_hits"] = float(self.hits)

@@ -69,6 +69,11 @@ class BankInterleavingDesign(MemorySystemDesign):
         super().reset_stats()
         self.in_package_hits = 0
 
+    def timeseries_probe(self):
+        counters, gauges = super().timeseries_probe()
+        counters["l3_hits"] = float(self.in_package_hits)
+        return counters, gauges
+
     def stats(self) -> dict:
         out = super().stats()
         out["in_package_hits"] = float(self.in_package_hits)

@@ -22,6 +22,7 @@ from repro.common.addressing import LINES_PER_PAGE
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
 from repro.dram.device import DRAMDevice
+from repro.obs.events import null_event
 from repro.sram.hierarchy import OnDieHierarchy
 from repro.vm.page_table import PageTable, PhysicalFrameAllocator
 from repro.vm.tlb import TLBEntry, TLBHierarchy
@@ -99,6 +100,13 @@ class MemorySystemDesign:
         # Hoisted hot-path constant: config.scaled_tlb is a property
         # that rebuilds a TLBConfig (dataclasses.replace) on every read.
         self._tlb_l2_hit_cycles = float(scaled_tlb.l2_hit_cycles)
+
+        # Observability (repro.obs).  ``trace_event`` is a prebound
+        # no-op that installed telemetry rebinds to an EventTracer --
+        # the same enable/disable trick ``validate=`` uses -- and it is
+        # only ever called on rare paths (TLB refills, evictions).
+        self.trace_event = null_event
+        self._cycle_time_ns = 1.0 / config.core.frequency_ghz
 
     # ------------------------------------------------------------------
     # Construction hooks
@@ -334,6 +342,8 @@ class MemorySystemDesign:
             target += virtual_page - pte.virtual_page
         entry = TLBEntry(target_page=target, non_cacheable=False)
         self.tlbs[core_id].install(virtual_page, entry)
+        self.trace_event("tlb", "walk_fill", now_ns,
+                         cycles * self._cycle_time_ns, core_id)
         return cycles, entry
 
     def _line_key(self, entry: TLBEntry, line_index: int) -> int:
@@ -434,6 +444,56 @@ class MemorySystemDesign:
     def probe_energy_nj(self) -> float:
         """Design-specific dynamic energy outside the DRAM devices."""
         return 0.0
+
+    def timeseries_probe(self):
+        """Cumulative counters + instantaneous gauges for repro.obs.
+
+        Returns ``(counters, gauges)``.  Counters are monotone within a
+        measured window; the timeseries recorder differences successive
+        snapshots, so this is called once per sampling window -- never
+        on the per-access path.  Subclasses overlay their own counters
+        (and real gauge values) on the base dict; the gauge keys exist
+        here for every design so artifacts share one column schema.
+        """
+        tlb_hits = 0
+        tlb_refs = 0
+        for tlb in self.tlbs:
+            hits = tlb.l1_hits + tlb.l2_hits
+            tlb_hits += hits
+            tlb_refs += hits + tlb.misses
+        in_pkg = self.in_package
+        off_pkg = self.off_package
+        banks = in_pkg.banks
+        row_hits = float(banks.row_hits)
+        counters = {
+            "accesses": float(self.accesses),
+            "l3_accesses": float(self.l3_accesses),
+            "tlb_hits": float(tlb_hits),
+            "tlb_refs": float(tlb_refs),
+            # In-package service fraction of L3-bound accesses; designs
+            # with an actual cache structure overlay their own counters.
+            "l3_hits": 0.0,
+            "l3_refs": float(self.l3_accesses),
+            "inpkg_bytes": float(
+                in_pkg.energy.read_bytes + in_pkg.energy.write_bytes
+            ),
+            "offpkg_bytes": float(
+                off_pkg.energy.read_bytes + off_pkg.energy.write_bytes
+            ),
+            "inpkg_busy_ns": (in_pkg.channels.demand_busy_ns
+                              + in_pkg.channels.background_busy_ns),
+            "offpkg_busy_ns": (off_pkg.channels.demand_busy_ns
+                               + off_pkg.channels.background_busy_ns),
+            "row_hits": row_hits,
+            "row_refs": row_hits + banks.row_misses + banks.row_empties,
+            "offpkg_demand": float(off_pkg.demand_accesses),
+        }
+        gauges = {
+            "free_queue_depth": 0.0,
+            "free_queue_alpha": 0.0,
+            "gipt_occupancy": 0.0,
+        }
+        return counters, gauges
 
     def stats(self) -> dict:
         out = {

@@ -121,6 +121,13 @@ class SRAMTagDesign(MemorySystemDesign):
         self.writebacks = 0
         self.tags.reset_stats()
 
+    def timeseries_probe(self):
+        counters, gauges = super().timeseries_probe()
+        counters["l3_hits"] = float(self.hits)
+        counters["l3_refs"] = float(self.hits + self.misses)
+        counters["writebacks"] = float(self.writebacks)
+        return counters, gauges
+
     def stats(self) -> dict:
         out = super().stats()
         out["l3_hits"] = float(self.hits)

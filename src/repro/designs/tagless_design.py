@@ -98,7 +98,7 @@ class TaglessDesign(MemorySystemDesign):
         now_ns: float,
         line_index: int = 0,
     ):
-        cycles, _outcome = self.handlers[core_id].handle(
+        cycles, outcome = self.handlers[core_id].handle(
             table, virtual_page, now_ns, first_line=line_index
         )
         entry = self.tlbs[core_id].l1.peek(virtual_page)
@@ -106,6 +106,9 @@ class TaglessDesign(MemorySystemDesign):
             raise SimulationError(
                 f"cTLB miss handler did not install VA page {virtual_page:#x}"
             )
+        self.trace_event("ctlb", "miss_fill", now_ns,
+                         cycles * self._cycle_time_ns, core_id,
+                         {"outcome": outcome.value})
         return cycles, entry
 
     # ------------------------------------------------------------------
@@ -187,6 +190,9 @@ class TaglessDesign(MemorySystemDesign):
     ) -> None:
         """Flag a page NC before (or during) a run -- the mmap extension."""
         self.page_table(process_id).set_non_cacheable(virtual_page, value)
+        self.trace_event("cache", "nc_pin", 0.0, None, 0,
+                         {"process": process_id, "vpn": virtual_page,
+                          "value": value})
 
     def set_caching_policy(self, policy) -> None:
         """Install a pluggable caching policy into every core's miss
@@ -303,6 +309,20 @@ class TaglessDesign(MemorySystemDesign):
             for pte in table._entries.values():
                 pte.pending_until_ns = 0.0
                 pte.pending_update = False
+
+    def timeseries_probe(self):
+        counters, gauges = super().timeseries_probe()
+        counters["l3_hits"] = float(self.cache_accesses)
+        counters["l3_refs"] = float(self.cache_accesses + self.nc_accesses)
+        engine = self.engine
+        counters["fills"] = float(engine.fills)
+        counters["writebacks"] = float(engine.writebacks)
+        counters["evictions"] = float(engine.free_queue.evictions_completed)
+        free_queue = engine.free_queue
+        gauges["free_queue_depth"] = float(free_queue.free_blocks)
+        gauges["free_queue_alpha"] = float(free_queue.alpha)
+        gauges["gipt_occupancy"] = engine.occupancy()
+        return counters, gauges
 
     def hit_rate(self) -> float:
         """DRAM-cache hit fraction among L3-bound accesses."""

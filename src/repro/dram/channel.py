@@ -32,6 +32,7 @@ class ChannelScheduler:
         "_bg_until_ns",
         "queue_ns_total",
         "requests",
+        "demand_busy_ns",
         "background_busy_ns",
     )
 
@@ -46,6 +47,7 @@ class ChannelScheduler:
         self._bg_until_ns = [0.0] * num_channels
         self.queue_ns_total = 0.0
         self.requests = 0
+        self.demand_busy_ns = 0.0
         self.background_busy_ns = 0.0
 
     def channel_of_page(self, page_number: int) -> int:
@@ -69,6 +71,7 @@ class ChannelScheduler:
         self._free_at_ns[channel] = start + busy_ns
         self.queue_ns_total += queue_ns
         self.requests += 1
+        self.demand_busy_ns += busy_ns
         return queue_ns
 
     def block(self, channel: int, start_ns: float, busy_ns: float) -> None:
@@ -104,4 +107,5 @@ class ChannelScheduler:
         self._bg_until_ns = [0.0] * self.num_channels
         self.queue_ns_total = 0.0
         self.requests = 0
+        self.demand_busy_ns = 0.0
         self.background_busy_ns = 0.0

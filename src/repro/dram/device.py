@@ -39,6 +39,10 @@ class DRAMDevice:
             preemption_ns=2 * timing.transfer_ns(CACHE_LINE_BYTES),
         )
         self.energy = EnergyAccount(energy)
+        #: Optional repro.common.stats.Histogram armed by installed
+        #: telemetry (repro.obs); None keeps the demand paths at a
+        #: single predicate per access.
+        self.latency_histogram = None
         self.demand_accesses = 0
         self.demand_latency_ns = 0.0
         self._next_refresh_ns = timing.trefi_ns
@@ -116,6 +120,7 @@ class DRAMDevice:
         free_at[channel] = start + self._block_transfer_ns
         channels.queue_ns_total += queue_ns
         channels.requests += 1
+        channels.demand_busy_ns += self._block_transfer_ns
         energy = self.energy
         energy.dynamic_nj += self._block_nj
         energy.activations += 1
@@ -126,6 +131,9 @@ class DRAMDevice:
         latency = queue_ns + self._block_service_ns
         self.demand_accesses += 1
         self.demand_latency_ns += latency
+        histogram = self.latency_histogram
+        if histogram is not None:
+            histogram.observe(latency)
         return latency
 
     def posted_write_block(
@@ -183,6 +191,9 @@ class DRAMDevice:
         latency = queue_ns + service_ns
         self.demand_accesses += 1
         self.demand_latency_ns += latency
+        histogram = self.latency_histogram
+        if histogram is not None:
+            histogram.observe(latency)
         return latency
 
     def stream_page(
@@ -220,6 +231,9 @@ class DRAMDevice:
         latency = queue_ns + service_ns
         self.demand_accesses += 1
         self.demand_latency_ns += latency
+        histogram = self.latency_histogram
+        if histogram is not None:
+            histogram.observe(latency)
         return latency
 
     def _finish_demand(
@@ -238,6 +252,9 @@ class DRAMDevice:
         latency = queue_ns + service_ns
         self.demand_accesses += 1
         self.demand_latency_ns += latency
+        histogram = self.latency_histogram
+        if histogram is not None:
+            histogram.observe(latency)
         return latency
 
     # ------------------------------------------------------------------

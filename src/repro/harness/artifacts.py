@@ -76,6 +76,7 @@ class RunArtifact:
             "key": outcome.spec.cache_key(),
             "spec": outcome.spec.to_dict(),
             "cache": outcome.cache_status,
+            "cache_hit": outcome.cache_status == "hit",
             "wall_time_s": outcome.wall_time_s,
         }
         if outcome.ok:

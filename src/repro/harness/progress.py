@@ -34,7 +34,9 @@ class ProgressReporter:
         self.done = 0
         self.errors = 0
         self.cache_hits = 0
-        self._started = time.perf_counter()
+        # monotonic(): rate/ETA math must be immune to wall-clock
+        # adjustments (NTP slews, DST) over long sweeps.
+        self._started = time.monotonic()
 
     # ------------------------------------------------------------------
     def job_done(self, outcome: JobResult) -> None:
@@ -68,7 +70,7 @@ class ProgressReporter:
         remaining = self.total - self.done
         if remaining <= 0:
             return ""
-        elapsed = time.perf_counter() - self._started
+        elapsed = time.monotonic() - self._started
         if elapsed <= 0.0:
             return ""
         eta = remaining * (elapsed / self.done)
@@ -76,7 +78,7 @@ class ProgressReporter:
 
     def summary(self, cache_stats: Optional[CacheStats] = None) -> str:
         """Build (and print) the end-of-run summary line."""
-        elapsed = time.perf_counter() - self._started
+        elapsed = time.monotonic() - self._started
         parts = [
             f"{self.label}: {self.done} jobs",
             f"{self.errors} errors",

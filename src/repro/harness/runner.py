@@ -65,13 +65,16 @@ def run_jobs(
     cache: Optional[ResultCache] = None,
     progress=None,
     artifact: Optional[RunArtifact] = None,
+    observer=None,
 ) -> List[JobResult]:
     """Execute ``specs`` and return their outcomes in input order.
 
     Cache hits are resolved up front in the parent process (they never
     occupy a worker); only misses are dispatched.  Each completed job is
-    reported to ``progress`` and ``artifact`` as it lands, and stored in
-    the cache on success.
+    reported to ``progress``, ``artifact`` and ``observer`` (an
+    :class:`~repro.obs.harness.HarnessObserver` or anything with a
+    ``job_done(outcome)`` method) as it lands, and stored in the cache
+    on success.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -90,7 +93,7 @@ def run_jobs(
                     wall_time_s=time.perf_counter() - start,
                     cache_status="hit",
                 )
-                _report(outcomes[index], progress, artifact)
+                _report(outcomes[index], progress, artifact, observer)
                 continue
         pending.append((index, spec))
 
@@ -105,7 +108,7 @@ def run_jobs(
             wall_time_s=wall,
             cache_status=cache_status,
         )
-        _report(outcomes[index], progress, artifact)
+        _report(outcomes[index], progress, artifact, observer)
 
     if jobs == 1 or len(pending) <= 1:
         for index, spec in pending:
@@ -126,11 +129,13 @@ def run_jobs(
     return [outcome for outcome in outcomes if outcome is not None]
 
 
-def _report(outcome: JobResult, progress, artifact) -> None:
+def _report(outcome: JobResult, progress, artifact, observer=None) -> None:
     if progress is not None:
         progress.job_done(outcome)
     if artifact is not None:
         artifact.record(outcome)
+    if observer is not None:
+        observer.job_done(outcome)
 
 
 @dataclasses.dataclass
@@ -147,6 +152,7 @@ class Harness:
     cache: Optional[ResultCache] = None
     progress: object = None
     artifact: Optional[RunArtifact] = None
+    observer: object = None
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         return run_jobs(
@@ -155,6 +161,7 @@ class Harness:
             cache=self.cache,
             progress=self.progress,
             artifact=self.artifact,
+            observer=self.observer,
         )
 
     def run_strict(

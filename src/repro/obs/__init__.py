@@ -1,0 +1,38 @@
+"""Observability: zero-cost-when-off telemetry for simulation runs.
+
+Three cooperating pieces, all opt-in per run and all strictly read-only
+with respect to the simulated machine:
+
+- :mod:`repro.obs.timeseries` -- windowed metric recording (MPKI, hit
+  rates, free-queue depth, bandwidth, per-core IPC) via cumulative
+  counter deltas;
+- :mod:`repro.obs.events` -- an event tracer (cTLB fills, evictions,
+  NC pins, validation sweeps) with ring-buffer retention and Chrome
+  trace-event/Perfetto JSON export;
+- :mod:`repro.obs.telemetry` -- the bundle that installs/uninstalls
+  both onto a design, plus the off-package latency histogram.
+
+:mod:`repro.obs.harness` observes harness runs (job lifecycle on
+wall-clock time); :mod:`repro.obs.report` renders artifacts as ASCII
+sparklines.  When nothing is installed the hot path pays nothing: the
+only hooks are prebound no-ops on rare paths and one ``getattr`` per
+run.
+"""
+
+from repro.obs.events import EventTracer, null_event
+from repro.obs.harness import HarnessObserver
+from repro.obs.report import render_timeseries, sparkline
+from repro.obs.telemetry import Telemetry, make_telemetry
+from repro.obs.timeseries import TimeseriesRecorder, load_timeseries
+
+__all__ = [
+    "EventTracer",
+    "HarnessObserver",
+    "Telemetry",
+    "TimeseriesRecorder",
+    "load_timeseries",
+    "make_telemetry",
+    "null_event",
+    "render_timeseries",
+    "sparkline",
+]

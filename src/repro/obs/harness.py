@@ -1,0 +1,97 @@
+"""Harness-level observability: job lifecycle over wall-clock time.
+
+Sweep and experiment jobs may execute in worker processes, where
+simulator-level telemetry cannot cross the pickling boundary.  What the
+parent process *can* observe -- and what matters for harness tuning --
+is the run's own lifecycle: when each job landed, how long it ran,
+whether it came from the cache, how the error count grew.  The
+:class:`HarnessObserver` records exactly that, on ``time.monotonic()``,
+and exports the same two artifact kinds as simulator telemetry: a
+Perfetto trace of job slices and a progress time-series.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.events import EventTracer
+
+
+class HarnessObserver:
+    """Records job-completion events and progress curves for one run."""
+
+    def __init__(self, label: str = "run", tracer: Optional[EventTracer] = None,
+                 clock=time.monotonic):
+        self.label = label
+        self.tracer = tracer if tracer is not None else EventTracer()
+        self._clock = clock
+        self._t0 = clock()
+        self.done = 0
+        self.errors = 0
+        self.cache_hits = 0
+        #: Progress samples, one per completed job (columnar).
+        self.columns: Dict[str, List[float]] = {
+            "t_ns": [], "jobs_done": [], "cache_hits": [], "errors": [],
+            "job_wall_s": [],
+        }
+        self._finished = False
+        #: Artifact destinations the CLI wires up; written at finish().
+        self.trace_path: Optional[str] = None
+        self.timeseries_path: Optional[str] = None
+        self.tracer.begin("harness", label, 0.0)
+
+    def _now_ns(self) -> float:
+        return (self._clock() - self._t0) * 1e9
+
+    # ------------------------------------------------------------------
+    def job_done(self, outcome) -> None:
+        """Record one finished :class:`~repro.harness.jobs.JobResult`."""
+        now_ns = self._now_ns()
+        self.done += 1
+        if not outcome.ok:
+            self.errors += 1
+        if outcome.cache_status == "hit":
+            self.cache_hits += 1
+        wall_ns = outcome.wall_time_s * 1e9
+        self.tracer.event(
+            "job", outcome.spec.label, max(0.0, now_ns - wall_ns),
+            dur_ns=wall_ns,
+            args={"cache": outcome.cache_status, "ok": outcome.ok},
+        )
+        self.columns["t_ns"].append(now_ns)
+        self.columns["jobs_done"].append(float(self.done))
+        self.columns["cache_hits"].append(float(self.cache_hits))
+        self.columns["errors"].append(float(self.errors))
+        self.columns["job_wall_s"].append(outcome.wall_time_s)
+
+    def finish(self) -> None:
+        """Close the run slice and write any configured artifacts."""
+        if self._finished:
+            return
+        self._finished = True
+        self.tracer.end("harness", self.label, self._now_ns())
+        if self.trace_path is not None:
+            self.tracer.to_perfetto(self.trace_path, process_name=self.label)
+        if self.timeseries_path is not None:
+            self.to_timeseries_jsonl(self.timeseries_path)
+
+    # ------------------------------------------------------------------
+    def to_timeseries_jsonl(self, path: str) -> None:
+        """Progress series in the same artifact schema ``repro report``
+        reads for simulator timeseries."""
+        names = list(self.columns)
+        meta = {
+            "record": "meta", "kind": "timeseries", "design": "harness",
+            "interval": 1, "unit": "jobs", "label": self.label,
+            "columns": names, "windows": self.done,
+        }
+        with open(path, "w") as handle:
+            handle.write(json.dumps(meta) + "\n")
+            for index in range(self.done):
+                record = {
+                    "record": "window",
+                    "v": [self.columns[name][index] for name in names],
+                }
+                handle.write(json.dumps(record) + "\n")

@@ -1,0 +1,117 @@
+"""ASCII sparkline rendering for timeseries artifacts (``repro report``).
+
+Turns the columnar windows of a telemetry artifact into one line per
+metric -- a Unicode sparkline plus min/mean/max/last -- so a run's
+transient behaviour (cTLB warmup, free-queue pressure, bandwidth
+bursts) is readable in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Columns every artifact has but that read better as the x-axis than
+#: as their own sparkline row.
+_AXIS_COLUMNS = ("t_ns",)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render ``values`` as a fixed-width sparkline string.
+
+    Longer series are bucketed (bucket mean) down to ``width``; shorter
+    ones render one glyph per point.  A constant series renders at the
+    lowest level rather than dividing by zero.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    if len(points) > width:
+        bucketed = []
+        for index in range(width):
+            lo = index * len(points) // width
+            hi = max(lo + 1, (index + 1) * len(points) // width)
+            chunk = points[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        points = bucketed
+    low = min(points)
+    span = max(points) - low
+    top = len(SPARK_CHARS) - 1
+    if span <= 0.0:
+        return SPARK_CHARS[0] * len(points)
+    return "".join(
+        SPARK_CHARS[int((value - low) / span * top)] for value in points
+    )
+
+
+def _format(value: float) -> str:
+    if value == 0.0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6 or magnitude < 1e-3:
+        return f"{value:.3g}"
+    if magnitude >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def render_timeseries(
+    meta: Dict[str, object],
+    columns: Dict[str, List[float]],
+    histogram: Optional[Dict[str, object]] = None,
+    width: int = 60,
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Build the full ``repro report`` text for one artifact."""
+    lines: List[str] = []
+    design = meta.get("design", "?")
+    workload = meta.get("workload")
+    windows = next((len(v) for v in columns.values()), 0)
+    title = f"timeseries: {design}"
+    if workload:
+        title += f" on {workload}"
+    title += (f", {windows} windows of {meta.get('interval', '?')} "
+              f"{meta.get('unit', '?')}")
+    lines.append(title)
+
+    t_axis = columns.get("t_ns")
+    if t_axis:
+        lines.append(f"span: 0 .. {_format(t_axis[-1])} ns")
+    lines.append("")
+
+    wanted = set(metrics) if metrics else None
+    name_width = max(
+        (len(n) for n in columns if n not in _AXIS_COLUMNS), default=6
+    )
+    for name, values in columns.items():
+        if name in _AXIS_COLUMNS or not values:
+            continue
+        if wanted is not None and name not in wanted:
+            continue
+        mean = sum(values) / len(values)
+        lines.append(
+            f"{name:<{name_width}s} {sparkline(values, width)} "
+            f"min {_format(min(values))}  mean {_format(mean)}  "
+            f"max {_format(max(values))}  last {_format(values[-1])}"
+        )
+
+    if histogram is not None and histogram.get("count"):
+        lines.append("")
+        lines.append(
+            f"histogram {histogram.get('name', '?')}: "
+            f"n={histogram['count']}  mean {_format(histogram['mean'])}  "
+            f"min {_format(histogram['min'])}  "
+            f"max {_format(histogram['max'])}"
+        )
+        buckets = [float(b) for b in histogram.get("buckets", [])]
+        # Trim the empty tail so the sparkline spans the observed range.
+        last = max((i for i, b in enumerate(buckets) if b), default=0)
+        lines.append(
+            f"{'log2 buckets':<{name_width}s} "
+            f"{sparkline(buckets[:last + 1], width)} "
+            f"(bucket i counts values in [2^(i-1), 2^i))"
+        )
+    return "\n".join(lines)

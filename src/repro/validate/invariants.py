@@ -87,6 +87,10 @@ class InvariantChecker:
         self.checks: List[Tuple[str, Callable[[], None]]] = []
         self.sweeps = 0
         self._installed = False
+        #: Optional repro.obs.events.EventTracer; when set, every sweep
+        #: emits a matched begin/end slice so validation pauses are
+        #: visible in a Perfetto trace.
+        self.tracer = None
         design.register_invariants(self)
 
     def register(self, name: str, check: Callable[[], None]) -> None:
@@ -99,9 +103,18 @@ class InvariantChecker:
         """
         self.checks.append((name, check))
 
-    def run_checks(self) -> None:
-        """Run every registered check once (one sweep)."""
+    def run_checks(self, now_ns: float = 0.0) -> None:
+        """Run every registered check once (one sweep).
+
+        ``now_ns`` is purely observational: it timestamps the sweep's
+        trace slice when a tracer is attached (checks themselves take
+        zero simulated time).
+        """
         self.sweeps += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("validate", "sweep", now_ns,
+                         args={"sweep": self.sweeps})
         for name, check in self.checks:
             try:
                 check()
@@ -109,6 +122,8 @@ class InvariantChecker:
                 raise InvariantViolation(
                     f"[{self.design.name}] {name}: {exc}"
                 ) from None
+        if tracer is not None:
+            tracer.end("validate", "sweep", now_ns)
 
     # ------------------------------------------------------------------
     def install(self) -> None:
@@ -126,7 +141,7 @@ class InvariantChecker:
             countdown[0] -= 1
             if countdown[0] <= 0:
                 countdown[0] = every
-                self.run_checks()
+                self.run_checks(now_ns)
             return cycles
 
         self.design.access_cycles = checked_access_cycles

@@ -236,3 +236,117 @@ def test_sweep_validate_flag_parses():
     args = parser.parse_args(["sweep", "--designs", "tagless",
                               "--workloads", "sphinx3", "--validate"])
     assert args.validate is True
+
+
+def test_trace_capture_mode_writes_artifacts(tmp_path, capsys):
+    trace_path = str(tmp_path / "t.perfetto.json")
+    series_path = str(tmp_path / "t.timeseries.jsonl")
+    code, out = run_cli(
+        capsys, "trace", "tagless", "sphinx3", "--accesses", "3000",
+        "--interval", "256",
+        "--trace-out", trace_path, "--timeseries-out", series_path,
+    )
+    assert code == 0
+    assert "windows" in out
+    document = json.loads(open(trace_path).read())
+    assert document["traceEvents"]
+    from repro.obs import load_timeseries
+
+    meta, columns, _hist = load_timeseries(series_path)
+    assert meta["design"] == "tagless"
+    assert columns["free_queue_depth"]
+
+
+def test_trace_capture_requires_workload():
+    with pytest.raises(SystemExit):
+        main(["trace", "tagless"])
+
+
+def test_trace_smoke_single_design(capsys):
+    code, out = run_cli(capsys, "trace", "tagless", "--smoke",
+                        "--accesses", "1500")
+    assert code == 0
+    assert "[ok]   tagless" in out
+    assert "trace smoke: PASS" in out
+
+
+def test_report_renders_captured_artifact(tmp_path, capsys):
+    series_path = str(tmp_path / "t.timeseries.jsonl")
+    run_cli(capsys, "trace", "no-l3", "sphinx3", "--accesses", "2500",
+            "--interval", "256",
+            "--trace-out", str(tmp_path / "t.perfetto.json"),
+            "--timeseries-out", series_path)
+    code, out = run_cli(capsys, "report", series_path, "--width", "20")
+    assert code == 0
+    assert "no-l3 on sphinx3" in out
+    assert "ctlb_hit_rate" in out
+
+
+def test_report_rejects_non_artifact(tmp_path):
+    bad = tmp_path / "nope.jsonl"
+    bad.write_text('{"record": "header"}\n')
+    with pytest.raises(SystemExit):
+        main(["report", str(bad)])
+
+
+def test_run_trace_flags_add_artifact_keys(tmp_path, capsys):
+    trace_path = str(tmp_path / "r.perfetto.json")
+    series_path = str(tmp_path / "r.timeseries.jsonl")
+    code, out = run_cli(
+        capsys, "run", "tagless", "sphinx3", "--accesses", "3000",
+        "--json", "--trace", trace_path, "--timeseries", series_path,
+    )
+    assert code == 0
+    metrics = json.loads(out)
+    assert metrics["trace"] == trace_path
+    assert metrics["timeseries"] == series_path
+    assert json.loads(open(trace_path).read())["traceEvents"]
+
+
+def test_run_without_trace_flags_keeps_plain_keys(capsys):
+    code, out = run_cli(capsys, "run", "tagless", "sphinx3",
+                        "--accesses", "2000", "--json")
+    metrics = json.loads(out)
+    assert "trace" not in metrics and "timeseries" not in metrics
+
+
+def test_run_telemetry_does_not_change_metrics(tmp_path, capsys):
+    argv = ["run", "tagless", "sphinx3", "--accesses", "3000", "--json"]
+    _, plain = run_cli(capsys, *argv)
+    _, traced = run_cli(
+        capsys, *argv, "--trace", str(tmp_path / "x.perfetto.json"),
+    )
+    plain_metrics = json.loads(plain)
+    traced_metrics = json.loads(traced)
+    traced_metrics.pop("trace")
+    assert traced_metrics == plain_metrics
+
+
+def test_sweep_timeseries_flag_writes_progress_artifact(tmp_path, capsys):
+    series_path = str(tmp_path / "progress.jsonl")
+    code, _ = run_cli(
+        capsys, "sweep", "--designs", "no-l3", "--workloads", "sphinx3",
+        "--accesses", "1500", "--out", str(tmp_path / "s.jsonl"),
+        "--no-cache", "--timeseries", series_path,
+    )
+    assert code == 0
+    from repro.obs import load_timeseries
+
+    meta, columns, _hist = load_timeseries(series_path)
+    assert meta["design"] == "harness"
+    assert columns["jobs_done"] == [1.0]
+
+
+def test_profile_json_reports_sampling_metadata(capsys):
+    from repro.common import rng
+
+    code, out = run_cli(
+        capsys, "profile", "--design", "no-l3", "--workload", "sphinx3",
+        "--accesses", "2000", "--top", "3", "--json",
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["seed"] == rng.BASE_SEED
+    assert report["accesses"] == 2000
+    assert report["design"] == "no-l3"
+    assert report["replacement"] == "fifo"

@@ -5,7 +5,12 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.common.stats import StatGroup, geometric_mean, merge_stat_dicts
+from repro.common.stats import (
+    Histogram,
+    StatGroup,
+    geometric_mean,
+    merge_stat_dicts,
+)
 
 
 class TestStatGroup:
@@ -120,6 +125,113 @@ class TestMergeStatDicts:
         flat = merge_stat_dicts([a.as_dict(), b.as_dict()])
         a.merge(b)
         assert flat == a.as_dict()
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        # Bucket i holds [2^(i-1), 2^i): 0.5 -> 0, 1 -> 1, 3 -> 2,
+        # 900 -> 10 (512 <= 900 < 1024).
+        h = Histogram("lat")
+        for value in (0.5, 1.0, 3.0, 900.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.buckets[0] == 1
+        assert h.buckets[1] == 1
+        assert h.buckets[2] == 1
+        assert h.buckets[10] == 1
+
+    def test_zero_and_negative_go_to_bucket_zero(self):
+        h = Histogram("lat")
+        h.observe(0.0)
+        h.observe(-5.0)
+        assert h.buckets[0] == 2
+
+    def test_last_bucket_is_open_ended(self):
+        h = Histogram("lat", num_buckets=4)
+        h.observe(1e18)
+        assert h.buckets[3] == 1
+        assert h.max == 1e18
+
+    def test_mean_min_max(self):
+        h = Histogram("lat")
+        for value in (10.0, 20.0, 30.0):
+            h.observe(value)
+        assert h.mean() == pytest.approx(20.0)
+        assert h.min == 10.0
+        assert h.max == 30.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("lat").mean() == 0.0
+
+    def test_percentile_bucket_resolution(self):
+        h = Histogram("lat")
+        for _ in range(99):
+            h.observe(4.0)  # bucket 3
+        h.observe(1000.0)  # bucket 10
+        assert h.percentile(0.5) == 8.0  # 2^3
+        assert h.percentile(1.0) == 2.0 ** 10
+
+    def test_percentile_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(0.0)
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(1.5)
+
+    def test_merge(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        a.observe(2.0)
+        b.observe(100.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 2.0
+        assert a.max == 100.0
+        assert a.mean() == pytest.approx(51.0)
+
+    def test_merge_empty_keeps_extrema(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        a.observe(7.0)
+        a.merge(b)
+        assert a.min == 7.0 and a.max == 7.0
+
+    def test_merge_rejects_bucket_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram("a", num_buckets=8).merge(Histogram("b", num_buckets=9))
+
+    def test_to_dict_roundtrip(self):
+        h = Histogram("lat")
+        for value in (1.0, 5.0, 900.0):
+            h.observe(value)
+        clone = Histogram.from_dict(h.to_dict())
+        assert clone.to_dict() == h.to_dict()
+        assert clone.buckets == h.buckets
+
+    def test_to_dict_empty_reports_zero_extrema(self):
+        data = Histogram("lat").to_dict()
+        assert data["min"] == 0.0 and data["max"] == 0.0
+        assert data["count"] == 0
+
+    def test_reset(self):
+        h = Histogram("lat")
+        h.observe(3.0)
+        h.reset()
+        assert h.count == 0
+        assert sum(h.buckets) == 0
+        assert h.to_dict()["min"] == 0.0
+
+    def test_rejects_too_few_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", num_buckets=1)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e12), min_size=1,
+                    max_size=50))
+    def test_count_and_bounds_invariants(self, values):
+        h = Histogram("lat")
+        for value in values:
+            h.observe(value)
+        assert h.count == len(values)
+        assert sum(h.buckets) == len(values)
+        assert h.min == min(values)
+        assert h.max == max(values)
 
 
 class TestGeometricMean:

@@ -69,7 +69,7 @@ def test_instant_run_guard(monkeypatch):
     import repro.harness.progress as progress_mod
 
     rep, stream = reporter(total=5)
-    monkeypatch.setattr(progress_mod.time, "perf_counter",
+    monkeypatch.setattr(progress_mod.time, "monotonic",
                         lambda: rep._started)
     rep.job_done(outcome(cache_status="hit"))
     assert ", eta " not in stream.getvalue()

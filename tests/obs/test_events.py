@@ -1,0 +1,144 @@
+"""Event tracer tests: ring-buffer retention and Perfetto export."""
+
+import json
+
+import pytest
+
+from repro.obs.events import DEFAULT_CAPACITY, EventTracer, null_event
+
+
+class TestNullEvent:
+    def test_is_a_no_op(self):
+        assert null_event("cat", "name", 1.0) is None
+        assert null_event("cat", "name", 1.0, dur_ns=2.0, tid=3,
+                          args={"k": 1}) is None
+
+    def test_signature_matches_tracer_event(self):
+        # Rebinding the attribute is the whole enable mechanism, so the
+        # no-op must accept exactly what the real emitter accepts.
+        tracer = EventTracer()
+        for call in (null_event, tracer.event):
+            call("cat", "name", 5.0)
+            call("cat", "name", 5.0, 2.0, 1, {"a": 1})
+            call("cat", "name", 5.0, dur_ns=None, tid=0, args=None)
+
+
+class TestRingBuffer:
+    def test_retains_everything_under_capacity(self):
+        tracer = EventTracer(capacity=10)
+        for i in range(7):
+            tracer.event("c", "e", float(i))
+        assert len(tracer) == 7
+        assert tracer.emitted == 7
+        assert tracer.dropped == 0
+
+    def test_overflow_drops_oldest(self):
+        tracer = EventTracer(capacity=4)
+        for i in range(10):
+            tracer.event("c", f"e{i}", float(i))
+        assert len(tracer) == 4
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        names = [event[3] for event in tracer.events()]
+        assert names == ["e6", "e7", "e8", "e9"]
+
+    def test_all_phases_count_against_capacity(self):
+        tracer = EventTracer(capacity=3)
+        tracer.begin("c", "slice", 0.0)
+        tracer.counter("free_queue", 1.0, {"depth": 5.0})
+        tracer.event("c", "instant", 2.0)
+        tracer.end("c", "slice", 3.0)
+        assert len(tracer) == 3  # begin fell off the ring
+        assert tracer.dropped == 1
+
+    def test_clear(self):
+        tracer = EventTracer(capacity=4)
+        tracer.event("c", "e", 0.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_default_capacity(self):
+        assert EventTracer().capacity == DEFAULT_CAPACITY
+
+
+class TestPerfettoExport:
+    def _sample_tracer(self) -> EventTracer:
+        tracer = EventTracer()
+        tracer.begin("sim", "measured", 0.0)
+        tracer.event("tlb", "walk_fill", 100.0, dur_ns=50.0, tid=1,
+                     args={"outcome": "resident"})
+        tracer.event("cache", "nc_pin", 150.0)
+        tracer.counter("free_queue", 200.0, {"depth": 9.0})
+        tracer.end("sim", "measured", 300.0)
+        return tracer
+
+    def test_roundtrip_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.perfetto.json")
+        self._sample_tracer().to_perfetto(path, process_name="tagless")
+        with open(path) as handle:
+            document = json.load(handle)
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"] == "ns"
+        assert document["otherData"]["dropped"] == 0
+
+    def test_first_event_names_the_process(self):
+        document = self._sample_tracer().to_perfetto_dict(
+            process_name="tagless"
+        )
+        head = document["traceEvents"][0]
+        assert head["ph"] == "M"
+        assert head["args"]["name"] == "tagless"
+
+    def test_timestamps_monotonic_and_microseconds(self):
+        tracer = EventTracer()
+        # Emit deliberately out of order; the exporter sorts.
+        tracer.event("c", "late", 3000.0)
+        tracer.event("c", "early", 1000.0)
+        events = self._nonmeta(tracer.to_perfetto_dict())
+        ts = [event["ts"] for event in events]
+        assert ts == sorted(ts)
+        assert ts == [1.0, 3.0]  # ns -> us
+
+    def test_b_e_pairs_matched(self):
+        events = self._nonmeta(self._sample_tracer().to_perfetto_dict())
+        opens = 0
+        for event in events:
+            if event["ph"] == "B":
+                opens += 1
+            elif event["ph"] == "E":
+                opens -= 1
+                assert opens >= 0, "E without a matching B"
+        assert opens == 0
+
+    def test_complete_events_carry_duration(self):
+        events = self._nonmeta(self._sample_tracer().to_perfetto_dict())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete and complete[0]["dur"] == pytest.approx(0.05)
+        assert complete[0]["args"] == {"outcome": "resident"}
+
+    def test_equal_timestamp_keeps_emission_order(self):
+        tracer = EventTracer()
+        tracer.begin("c", "outer", 10.0)
+        tracer.begin("c", "inner", 10.0)
+        tracer.end("c", "inner", 10.0)
+        tracer.end("c", "outer", 10.0)
+        phases = [(e["ph"], e["name"])
+                  for e in self._nonmeta(tracer.to_perfetto_dict())]
+        assert phases == [("B", "outer"), ("B", "inner"),
+                          ("E", "inner"), ("E", "outer")]
+
+    def test_dropped_count_reported(self):
+        tracer = EventTracer(capacity=2)
+        for i in range(5):
+            tracer.event("c", "e", float(i))
+        other = tracer.to_perfetto_dict()["otherData"]
+        assert other == {"emitted": 5, "retained": 2, "dropped": 3}
+
+    @staticmethod
+    def _nonmeta(document):
+        return [e for e in document["traceEvents"] if e["ph"] != "M"]

@@ -1,0 +1,101 @@
+"""Harness observer tests: job lifecycle recording and artifact export."""
+
+import pytest
+
+from repro.harness.jobs import JobResult, JobSpec
+from repro.harness.runner import Harness, run_jobs
+from repro.obs import load_timeseries
+from repro.obs.harness import HarnessObserver
+
+
+def _spec(**overrides) -> JobSpec:
+    base = dict(design="no-l3", workload="sphinx3", workload_kind="spec",
+                accesses=500, cache_megabytes=128, num_cores=1,
+                capacity_scale=512)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def _outcome(ok=True, cache="miss", wall=0.25) -> JobResult:
+    return JobResult(spec=_spec(), result=None if not ok else object(),
+                     error=None if ok else "Boom: bang",
+                     wall_time_s=wall, cache_status=cache)
+
+
+class FakeClock:
+    """Deterministic monotonic clock the observer can be driven with."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestHarnessObserver:
+    def test_counts_and_columns(self):
+        clock = FakeClock()
+        observer = HarnessObserver(label="sweep", clock=clock)
+        clock.t += 1.0
+        observer.job_done(_outcome(cache="hit", wall=0.0))
+        clock.t += 2.0
+        observer.job_done(_outcome(ok=False, wall=1.5))
+        assert observer.done == 2
+        assert observer.cache_hits == 1
+        assert observer.errors == 1
+        assert observer.columns["t_ns"] == [pytest.approx(1e9),
+                                            pytest.approx(3e9)]
+        assert observer.columns["jobs_done"] == [1.0, 2.0]
+        assert observer.columns["job_wall_s"] == [0.0, 1.5]
+
+    def test_job_slices_cover_their_wall_time(self):
+        clock = FakeClock()
+        observer = HarnessObserver(clock=clock)
+        clock.t += 2.0
+        observer.job_done(_outcome(wall=0.5))
+        slices = [e for e in observer.tracer.events() if e[1] == "X"]
+        assert len(slices) == 1
+        ts_ns, _ph, _cat, _name, dur_ns, _tid, args = slices[0]
+        assert ts_ns == pytest.approx(1.5e9)  # landed at 2s, ran 0.5s
+        assert dur_ns == pytest.approx(0.5e9)
+        assert args["cache"] == "miss" and args["ok"] is True
+
+    def test_slice_start_clamps_to_run_origin(self):
+        # A cache hit "ran" for longer than the observer has existed
+        # (clock skew); its slice must not start before t=0.
+        observer = HarnessObserver(clock=FakeClock())
+        observer.job_done(_outcome(wall=99.0))
+        slices = [e for e in observer.tracer.events() if e[1] == "X"]
+        assert slices[0][0] == 0.0
+
+    def test_finish_writes_artifacts_and_is_idempotent(self, tmp_path):
+        clock = FakeClock()
+        observer = HarnessObserver(label="sweep", clock=clock)
+        observer.trace_path = str(tmp_path / "h.perfetto.json")
+        observer.timeseries_path = str(tmp_path / "h.jsonl")
+        clock.t += 1.0
+        observer.job_done(_outcome())
+        observer.finish()
+        observer.finish()  # no double-write, no error
+        meta, columns, _ = load_timeseries(observer.timeseries_path)
+        assert meta["design"] == "harness"
+        assert meta["unit"] == "jobs"
+        assert columns["jobs_done"] == [1.0]
+        import json
+
+        with open(observer.trace_path) as handle:
+            document = json.load(handle)
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "sweep" in names  # the harness B/E run slice
+
+    def test_run_jobs_reports_to_observer(self, tmp_path):
+        observer = HarnessObserver(label="unit")
+        outcomes = run_jobs([_spec(accesses=400)], observer=observer)
+        assert len(outcomes) == 1 and outcomes[0].ok
+        assert observer.done == 1
+
+    def test_harness_dataclass_threads_observer(self):
+        observer = HarnessObserver(label="unit")
+        harness = Harness(observer=observer)
+        harness.run([_spec(accesses=400)])
+        assert observer.done == 1

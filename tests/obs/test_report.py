@@ -1,0 +1,68 @@
+"""Report rendering tests: sparklines and the artifact text view."""
+
+from repro.obs.report import SPARK_CHARS, render_timeseries, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_uses_lowest_glyph(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert line == SPARK_CHARS[0] * 3
+
+    def test_monotone_ramp_is_monotone(self):
+        line = sparkline([float(i) for i in range(8)])
+        indices = [SPARK_CHARS.index(ch) for ch in line]
+        assert indices == sorted(indices)
+        assert line[0] == SPARK_CHARS[0]
+        assert line[-1] == SPARK_CHARS[-1]
+
+    def test_downsamples_to_width(self):
+        line = sparkline([float(i) for i in range(1000)], width=20)
+        assert len(line) == 20
+
+    def test_short_series_keeps_one_char_per_point(self):
+        assert len(sparkline([1.0, 2.0], width=60)) == 2
+
+
+class TestRenderTimeseries:
+    def _artifact(self):
+        meta = {"design": "tagless", "workload": "mcf",
+                "interval": 512, "unit": "accesses"}
+        columns = {
+            "t_ns": [100.0, 200.0, 300.0],
+            "ipc": [0.3, 0.4, 0.5],
+            "free_queue_depth": [40.0, 30.0, 20.0],
+        }
+        return meta, columns
+
+    def test_header_and_series_lines(self):
+        meta, columns = self._artifact()
+        text = render_timeseries(meta, columns)
+        assert "tagless on mcf" in text
+        assert "3 windows of 512 accesses" in text
+        assert "ipc" in text and "free_queue_depth" in text
+        assert "t_ns " not in text  # the axis is not its own series
+
+    def test_metrics_filter(self):
+        meta, columns = self._artifact()
+        text = render_timeseries(meta, columns, metrics=["ipc"])
+        assert "ipc" in text
+        assert "free_queue_depth" not in text
+
+    def test_histogram_section(self):
+        meta, columns = self._artifact()
+        histogram = {"name": "offpkg_demand_latency_ns", "count": 10,
+                     "mean": 120.0, "min": 50.0, "max": 700.0,
+                     "buckets": [0, 0, 0, 0, 0, 0, 6, 2, 1, 1, 0, 0]}
+        text = render_timeseries(meta, columns, histogram=histogram)
+        assert "histogram offpkg_demand_latency_ns" in text
+        assert "n=10" in text
+
+    def test_empty_histogram_is_omitted(self):
+        meta, columns = self._artifact()
+        histogram = {"name": "x", "count": 0, "mean": 0.0, "min": 0.0,
+                     "max": 0.0, "buckets": [0, 0]}
+        assert "histogram" not in render_timeseries(meta, columns,
+                                                    histogram=histogram)

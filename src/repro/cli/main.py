@@ -21,7 +21,9 @@ from repro.harness import (
     RunArtifact,
     default_artifact_path,
     infer_workload_kind,
+    load_resume_map,
     resolve_cache_dir,
+    run_jobs,
 )
 from repro.workloads.generator import TraceGenerator
 from repro.workloads.mixes import MIX_ORDER, MIXES, mix_traces
@@ -40,6 +42,22 @@ def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="compute every point fresh; do not read or "
                              "write the result cache")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget; a job past it is "
+                             "killed and reported status=timeout (default: "
+                             "$REPRO_JOB_TIMEOUT, else unbounded)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts granted to each failed job "
+                             "(default 0: fail on first error)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="delay before the first retry, doubling each "
+                             "further attempt (default 0.5)")
+    parser.add_argument("--resume", default=None, metavar="ARTIFACT",
+                        help="seed completed points from a prior run's "
+                             "JSONL artifact; only missing/failed points "
+                             "are recomputed")
     parser.add_argument("--trace", dest="trace_out", default=None,
                         metavar="PATH",
                         help="write a Perfetto JSON trace of the harness "
@@ -127,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--interval", type=int, default=1024,
                      help="time-series window size in accesses "
                           "(default 1024)")
+    run.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget; the run executes in a "
+                          "supervised worker and is killed past it "
+                          "(incompatible with --trace/--timeseries)")
+    run.add_argument("--retries", type=int, default=0,
+                     help="extra attempts if the run fails (supervised "
+                          "mode, like --timeout)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -479,28 +505,74 @@ def _bindings_for(workload: str, accesses: int, scale: int) -> List[BoundTrace]:
     return [BoundTrace(0, 0, trace)]
 
 
+def _run_supervised(args: argparse.Namespace):
+    """Execute ``repro run`` through the fault-tolerant harness.
+
+    Used when ``--timeout``/``--retries`` are given: the simulation runs
+    in a killable worker process, so a hang ends after the budget
+    instead of wedging the terminal.  Simulator-level telemetry cannot
+    cross the process boundary, hence the ``--trace``/``--timeseries``
+    incompatibility.
+    """
+    if args.trace_out or args.timeseries_out:
+        raise SystemExit(
+            "--timeout/--retries run in a worker process and cannot "
+            "capture --trace/--timeseries telemetry; drop one or the "
+            "other"
+        )
+    try:
+        spec = JobSpec(
+            design=args.design,
+            workload=args.workload,
+            accesses=args.accesses,
+            cache_megabytes=args.cache_mb,
+            num_cores=4 if args.workload in MIXES else 1,
+            replacement=args.replacement,
+            capacity_scale=args.scale,
+            warmup_fraction=args.warmup,
+            timeout_s=args.timeout,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    outcome = run_jobs([spec], jobs=1, retries=args.retries)[0]
+    if not outcome.ok:
+        print(f"{spec.label} {outcome.status}: {outcome.error}",
+              file=sys.stderr)
+        if outcome.error_detail:
+            print(outcome.error_detail, file=sys.stderr)
+        raise SystemExit(1)
+    return outcome.result
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if not (0.0 <= args.warmup < 1.0):
         raise SystemExit("--warmup must be in [0, 1)")
-    config = default_system(
-        cache_megabytes=args.cache_mb,
-        num_cores=4 if args.workload in MIXES else 1,
-        replacement=args.replacement,
-        capacity_scale=args.scale,
-    )
-    bindings = _bindings_for(args.workload, args.accesses, args.scale)
-
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
     telemetry = None
-    if args.trace_out or args.timeseries_out:
-        from repro.obs import make_telemetry
+    if args.timeout is not None or args.retries > 0:
+        result = _run_supervised(args)
+    else:
+        config = default_system(
+            cache_megabytes=args.cache_mb,
+            num_cores=4 if args.workload in MIXES else 1,
+            replacement=args.replacement,
+            capacity_scale=args.scale,
+        )
+        bindings = _bindings_for(args.workload, args.accesses, args.scale)
 
-        if args.interval < 1:
-            raise SystemExit("--interval must be >= 1")
-        telemetry = make_telemetry(interval=args.interval)
-    result = Simulator(config).run(
-        args.design, bindings, warmup_fraction=args.warmup,
-        telemetry=telemetry,
-    )
+        if args.trace_out or args.timeseries_out:
+            from repro.obs import make_telemetry
+
+            if args.interval < 1:
+                raise SystemExit("--interval must be >= 1")
+            telemetry = make_telemetry(interval=args.interval)
+        result = Simulator(config).run(
+            args.design, bindings, warmup_fraction=args.warmup,
+            telemetry=telemetry,
+        )
     metrics = {
         "design": args.design,
         "workload": args.workload,
@@ -541,6 +613,22 @@ def _build_harness(args: argparse.Namespace, name: str,
     """
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    if args.retry_backoff < 0:
+        raise SystemExit("--retry-backoff must be >= 0")
+    resume = None
+    if args.resume is not None:
+        try:
+            resume = load_resume_map(args.resume)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read resume artifact {args.resume}: {exc}"
+            ) from None
+        print(f"resume: {len(resume)} completed points from {args.resume}",
+              file=sys.stderr)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if artifact_path is None:
         artifact_path = default_artifact_path(
@@ -562,7 +650,9 @@ def _build_harness(args: argparse.Namespace, name: str,
         observer.timeseries_path = args.timeseries_out
     print(f"artifact: {artifact_path}", file=sys.stderr)
     return Harness(jobs=args.jobs, cache=cache, progress=progress,
-                   artifact=artifact, observer=observer)
+                   artifact=artifact, observer=observer,
+                   timeout_s=args.timeout, retries=args.retries,
+                   retry_backoff_s=args.retry_backoff, resume=resume)
 
 
 def _finish_harness(harness: Harness) -> None:

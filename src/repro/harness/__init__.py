@@ -20,8 +20,10 @@ from repro.harness.artifacts import (
     RunArtifact,
     default_artifact_path,
     job_metrics,
+    load_resume_map,
     read_artifact,
 )
+from repro.harness.faults import FAULT_ENV, InjectedFault, parse_fault_plan
 from repro.harness.cache import (
     CacheStats,
     ResultCache,
@@ -33,28 +35,42 @@ from repro.harness.jobs import (
     SCHEMA_VERSION,
     JobResult,
     JobSpec,
+    execute_captured,
     execute_job,
     infer_workload_kind,
 )
 from repro.harness.progress import ProgressReporter
-from repro.harness.runner import Harness, HarnessError, run_jobs
+from repro.harness.runner import (
+    TIMEOUT_ENV,
+    Harness,
+    HarnessError,
+    resolve_default_timeout,
+    run_jobs,
+)
 
 __all__ = [
     "CacheStats",
+    "FAULT_ENV",
     "Harness",
     "HarnessError",
+    "InjectedFault",
     "JobResult",
     "JobSpec",
     "ProgressReporter",
     "ResultCache",
     "RunArtifact",
     "SCHEMA_VERSION",
+    "TIMEOUT_ENV",
     "default_artifact_path",
+    "execute_captured",
     "execute_job",
     "infer_workload_kind",
     "job_metrics",
+    "load_resume_map",
+    "parse_fault_plan",
     "read_artifact",
     "resolve_cache_dir",
+    "resolve_default_timeout",
     "run_jobs",
     "simulation_result_from_dict",
     "simulation_result_to_dict",

@@ -42,16 +42,30 @@ def default_artifact_path(cache_dir: str, name: str) -> str:
 
 
 class RunArtifact:
-    """Streams header / per-job / summary records to a JSONL file."""
+    """Streams header / per-job / summary records to a JSONL file.
+
+    With ``store_results=True`` (the default) every ``ok`` row embeds
+    the full flattened simulation result, which is what makes an
+    artifact *resumable*: ``run_jobs(resume=load_resume_map(path))``
+    seeds those outcomes without recomputing them.  Pass
+    ``store_results=False`` to keep rows headline-only when artifacts
+    must stay small and resume is not needed.
+    """
 
     def __init__(self, path: str, name: str = "run",
-                 meta: Optional[Dict[str, object]] = None):
+                 meta: Optional[Dict[str, object]] = None,
+                 store_results: bool = True):
         self.path = path
         self.name = name
+        self.store_results = store_results
         self._started = time.perf_counter()
         self._jobs = 0
         self._errors = 0
         self._hits = 0
+        self._resumed = 0
+        self._timeouts = 0
+        self._crashes = 0
+        self._retries = 0
         self._job_wall_s = 0.0
         self._closed = False
         directory = os.path.dirname(os.path.abspath(path))
@@ -69,8 +83,11 @@ class RunArtifact:
         """Append one job record."""
         self._jobs += 1
         self._job_wall_s += outcome.wall_time_s
+        self._retries += outcome.retries
         if outcome.cache_status == "hit":
             self._hits += 1
+        if outcome.cache_status == "resume":
+            self._resumed += 1
         entry: Dict[str, object] = {
             "record": "job",
             "key": outcome.spec.cache_key(),
@@ -78,14 +95,23 @@ class RunArtifact:
             "cache": outcome.cache_status,
             "cache_hit": outcome.cache_status == "hit",
             "wall_time_s": outcome.wall_time_s,
+            "retries": outcome.retries,
         }
         if outcome.ok:
             entry["status"] = "ok"
             entry["metrics"] = job_metrics(outcome.result)
+            if self.store_results:
+                entry["result"] = simulation_result_to_dict(outcome.result)
         else:
             self._errors += 1
-            entry["status"] = "error"
+            if outcome.status == "timeout":
+                self._timeouts += 1
+            elif outcome.status == "worker-crashed":
+                self._crashes += 1
+            entry["status"] = outcome.status
             entry["error"] = outcome.error
+            if outcome.error_detail:
+                entry["error_detail"] = outcome.error_detail
         self._write(entry)
 
     def record_all(self, outcomes: List[JobResult]) -> None:
@@ -102,6 +128,10 @@ class RunArtifact:
             "run": self.name,
             "jobs": self._jobs,
             "errors": self._errors,
+            "timeouts": self._timeouts,
+            "worker_crashes": self._crashes,
+            "retries": self._retries,
+            "resumed": self._resumed,
             "cache_hits": self._hits,
             "cache_hit_rate": self._hits / self._jobs if self._jobs else 0.0,
             "job_wall_time_s": self._job_wall_s,
@@ -135,12 +165,43 @@ def read_artifact(path: str) -> List[Dict[str, object]]:
     return records
 
 
+def load_resume_map(path: str) -> Dict[str, Dict[str, object]]:
+    """Index a prior artifact's completed job records by cache key.
+
+    Only ``status=="ok"`` rows that embed a full result payload are
+    kept -- those are the points :func:`repro.harness.runner.run_jobs`
+    can seed without recomputation.  Failed, timed-out, crashed or
+    headline-only rows are omitted so resume recomputes them.  The last
+    record per key wins, so an artifact that itself came from a resumed
+    run chains correctly.  A torn trailing line (the sweep died
+    mid-write) is skipped rather than fatal: everything before it is
+    still a valid resume seed.
+    """
+    seeds: Dict[str, Dict[str, object]] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (record.get("record") == "job"
+                    and record.get("status") == "ok"
+                    and isinstance(record.get("result"), dict)
+                    and isinstance(record.get("key"), str)):
+                seeds[record["key"]] = record
+    return seeds
+
+
 # Re-exported so artifact consumers can round-trip full results without
 # importing the cache module.
 __all__ = [
     "RunArtifact",
     "default_artifact_path",
     "job_metrics",
+    "load_resume_map",
     "read_artifact",
     "simulation_result_to_dict",
 ]

@@ -18,6 +18,7 @@ import dataclasses
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Optional
 
 from repro.analysis.energy import EnergyBreakdown
@@ -27,6 +28,11 @@ from repro.harness.jobs import SCHEMA_VERSION, JobSpec
 
 #: Default cache root; ``REPRO_CACHE_DIR`` overrides it.
 DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro")
+
+#: Age (seconds) past which a ``*.tmp`` staging file is considered
+#: orphaned.  Young ones may belong to a concurrent writer mid
+#: write-then-rename and must be left alone.
+STALE_TMP_AGE_S = 15 * 60.0
 
 
 def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
@@ -67,6 +73,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidated: int = 0
+    #: Orphaned ``*.tmp`` write-staging files swept from the store
+    #: (writers killed between ``mkstemp`` and ``os.replace``).
+    stale_tmp: int = 0
 
     @property
     def lookups(self) -> int:
@@ -89,6 +98,11 @@ class ResultCache:
         self.cache_dir = resolve_cache_dir(cache_dir)
         self.enabled = enabled
         self.stats = CacheStats()
+        # A writer killed between mkstemp and os.replace (OOM, SIGKILL,
+        # power loss) leaks its staging file forever; nothing else ever
+        # deletes it, so each cache construction sweeps old ones.
+        if enabled:
+            self._sweep_stale_tmp(max_age_s=STALE_TMP_AGE_S)
 
     @property
     def objects_dir(self) -> str:
@@ -157,7 +171,8 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cached object; returns how many were removed."""
+        """Delete every cached object (and every ``*.tmp`` staging file,
+        whatever its age); returns how many files were removed."""
         removed = 0
         if not os.path.isdir(self.objects_dir):
             return removed
@@ -166,6 +181,27 @@ class ResultCache:
                 if filename.endswith(".json"):
                     os.unlink(os.path.join(dirpath, filename))
                     removed += 1
+        removed += self._sweep_stale_tmp(max_age_s=0.0)
+        return removed
+
+    def _sweep_stale_tmp(self, max_age_s: float) -> int:
+        """Delete ``*.tmp`` files older than ``max_age_s``; count them."""
+        removed = 0
+        if not os.path.isdir(self.objects_dir):
+            return removed
+        cutoff = time.time() - max_age_s
+        for dirpath, _dirnames, filenames in os.walk(self.objects_dir):
+            for filename in filenames:
+                if not filename.endswith(".tmp"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    pass  # raced with its writer's os.replace: not stale
+        self.stats.stale_tmp += removed
         return removed
 
     # ------------------------------------------------------------------

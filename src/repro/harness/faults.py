@@ -1,0 +1,117 @@
+"""Deterministic fault injection for harness tests and CI chaos runs.
+
+The fault-tolerance machinery in :mod:`repro.harness.runner` (timeouts,
+retries, worker-crash recovery, resume) only matters when things go
+wrong, which real sweeps do rarely and non-reproducibly.  This module
+makes failure reproducible: ``REPRO_FAULT_INJECT`` names jobs (by a
+substring of their :attr:`~repro.harness.jobs.JobSpec.label`) that must
+hang, crash their worker process, or fail transiently, and
+:func:`apply_faults` -- called at the top of every captured execution,
+in whatever process that happens -- acts it out.
+
+Grammar (comma-separated rules)::
+
+    REPRO_FAULT_INJECT="hang:<label>,crash:<label>,flaky:<label>:<n>"
+
+- ``hang:<label>``  -- sleep forever (exercises wall-clock timeouts);
+- ``crash:<label>`` -- ``SIGKILL`` the executing process (exercises
+  worker-crash recovery; do not use on the in-process serial path);
+- ``flaky:<label>:<n>`` -- raise :class:`InjectedFault` on the first
+  ``n`` attempts of the job, then succeed (exercises retries).
+
+The environment is parsed at call time so tests can flip it per-case
+with ``monkeypatch.setenv``; worker processes inherit it from the
+parent at spawn/fork time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import time
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+
+#: Environment variable holding the fault plan.
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic failure a ``flaky`` rule raises."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One parsed rule: what to do (`kind`) to which jobs (`label`)."""
+
+    kind: str  # "hang" | "crash" | "flaky"
+    label: str  # substring matched against JobSpec.label
+    count: int = 0  # flaky only: fail this many attempts, then succeed
+
+    def matches(self, label: str) -> bool:
+        return self.label in label
+
+
+def parse_fault_plan(text: Optional[str]) -> List[FaultRule]:
+    """Parse the ``REPRO_FAULT_INJECT`` grammar into rules.
+
+    An empty/unset value yields no rules; a malformed value raises
+    :class:`ConfigurationError` -- a chaos run with a typo'd plan must
+    fail loudly, not silently run fault-free.
+    """
+    rules: List[FaultRule] = []
+    if not text:
+        return rules
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        kind = parts[0]
+        if kind in ("hang", "crash") and len(parts) == 2 and parts[1]:
+            rules.append(FaultRule(kind=kind, label=parts[1]))
+        elif kind == "flaky" and len(parts) == 3 and parts[1]:
+            try:
+                count = int(parts[2])
+            except ValueError:
+                count = -1
+            if count < 0:
+                raise ConfigurationError(
+                    f"bad flaky count in fault rule {token!r}"
+                )
+            rules.append(FaultRule(kind=kind, label=parts[1], count=count))
+        else:
+            raise ConfigurationError(
+                f"bad fault rule {token!r}; expected hang:<label>, "
+                f"crash:<label> or flaky:<label>:<n>"
+            )
+    return rules
+
+
+def apply_faults(label: str, attempt: int = 0) -> None:
+    """Act out the first matching rule of the environment's fault plan.
+
+    No-op (one ``os.environ.get``) when ``REPRO_FAULT_INJECT`` is unset,
+    which is every production run.  ``attempt`` is the zero-based retry
+    attempt the caller is on, so ``flaky`` rules are deterministic
+    across retries of the same job.
+    """
+    plan = os.environ.get(FAULT_ENV)
+    if not plan:
+        return
+    for rule in parse_fault_plan(plan):
+        if not rule.matches(label):
+            continue
+        if rule.kind == "hang":
+            while True:  # parked until the supervisor kills this worker
+                time.sleep(3600.0)
+        if rule.kind == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if rule.kind == "flaky" and attempt < rule.count:
+            raise InjectedFault(
+                f"injected flaky failure for {label!r} "
+                f"(attempt {attempt + 1}/{rule.count})"
+            )
+        return

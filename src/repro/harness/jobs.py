@@ -17,7 +17,9 @@ import hashlib
 import json
 import os
 import subprocess
-from typing import Dict, List, Optional
+import time
+import traceback
+from typing import Dict, List, Optional, Tuple
 
 import repro
 from repro.common import rng
@@ -113,6 +115,11 @@ class JobSpec:
     base_seed: Optional[int] = None
     #: Run with the ``repro.validate`` invariant checker installed.
     validate: bool = False
+    #: Per-job wall-clock timeout in seconds; ``None`` defers to the
+    #: run-level default (``run_jobs(timeout_s=...)``, itself defaulting
+    #: to ``$REPRO_JOB_TIMEOUT``).  Excluded from the cache key: how
+    #: long a job is *allowed* to run does not change its result.
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.workload_kind:
@@ -130,6 +137,8 @@ class JobSpec:
             raise ConfigurationError("accesses must be >= 0")
         if not (0.0 <= self.warmup_fraction < 1.0):
             raise ConfigurationError("warmup_fraction must be in [0, 1)")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
 
     # ------------------------------------------------------------------
     @property
@@ -159,6 +168,11 @@ class JobSpec:
         different key, so stale results can never be replayed.
         """
         payload = self.to_dict()
+        # Execution policy, not simulation input: two runs differing
+        # only in how long they allow a job to take address the same
+        # cached result (and keys stay stable across the field's
+        # introduction).
+        payload.pop("timeout_s", None)
         payload["base_seed"] = self.effective_seed
         payload["schema"] = SCHEMA_VERSION
         payload["code"] = code_fingerprint()
@@ -252,6 +266,52 @@ def execute_job(spec: JobSpec) -> SimulationResult:
             rng.BASE_SEED = previous_seed
 
 
+#: How many trailing characters of a failure traceback survive into
+#: ``JobResult.error_detail`` and the JSONL artifact row.
+TRACEBACK_TAIL_CHARS = 2000
+
+
+def _traceback_tail() -> str:
+    """The tail of the current exception's traceback, bounded in size.
+
+    The *last* frames are the ones that say where a sweep point died;
+    keeping only the tail bounds artifact rows even for deeply nested
+    failures.
+    """
+    text = traceback.format_exc().strip()
+    if len(text) > TRACEBACK_TAIL_CHARS:
+        text = "...\n" + text[-TRACEBACK_TAIL_CHARS:]
+    return text
+
+
+def execute_captured(
+    spec: JobSpec, attempt: int = 0,
+) -> Tuple[Optional[SimulationResult], Optional[str], Optional[str], float]:
+    """Run one spec, trapping any exception into strings.
+
+    Returns ``(result, error, error_detail, wall_time_s)``.  Runs inside
+    worker processes, so failures are stringified here -- arbitrary
+    exception objects are not reliably picklable -- as a one-line
+    ``TypeName: msg`` plus the traceback tail for post-hoc debugging.
+    ``attempt`` is the zero-based retry attempt, consumed only by the
+    deterministic fault-injection hook (:mod:`repro.harness.faults`).
+    """
+    from repro.harness.faults import apply_faults
+
+    start = time.perf_counter()
+    try:
+        apply_faults(spec.label, attempt)
+        result = execute_job(spec)
+        return result, None, None, time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
+        error = f"{type(exc).__name__}: {exc}"
+        return None, error, _traceback_tail(), time.perf_counter() - start
+
+
+#: Terminal job statuses a :class:`JobResult` can carry.
+JOB_STATUSES = ("ok", "error", "timeout", "worker-crashed")
+
+
 @dataclasses.dataclass
 class JobResult:
     """Outcome of one job: a result, or a captured error, never both."""
@@ -261,8 +321,21 @@ class JobResult:
     error: Optional[str] = None
     wall_time_s: float = 0.0
     #: "hit" (served from cache), "miss" (computed, then stored when a
-    #: cache is attached) or "off" (no cache in play).
+    #: cache is attached), "resume" (seeded from a prior run artifact)
+    #: or "off" (no cache in play).
     cache_status: str = "off"
+    #: Terminal status: "ok", "error" (the job raised), "timeout" (hit
+    #: its wall-clock budget) or "worker-crashed" (its worker process
+    #: died).  Derived from ``error`` when not set explicitly.
+    status: str = ""
+    #: Traceback tail of the failure, when one was captured.
+    error_detail: Optional[str] = None
+    #: How many retries this job consumed before its terminal attempt.
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.status:
+            self.status = "ok" if self.error is None else "error"
 
     @property
     def ok(self) -> bool:

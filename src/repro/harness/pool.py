@@ -1,0 +1,228 @@
+"""Supervised worker pool: per-job timeouts, precise crash attribution.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot express either
+guarantee the fault-tolerant runner needs.  A hung worker stalls
+``wait()`` forever -- futures of already-running jobs cannot be
+cancelled -- and one OOM-killed worker raises ``BrokenProcessPool`` out
+of *every* outstanding future, discarding the whole in-flight set
+without saying which job was on the dead process.
+
+This pool keeps one duplex :class:`multiprocessing.Pipe` per worker and
+records which job each worker is running, so a deadline overrun or a
+worker death is attributed to exactly one job.  The supervisor
+(:func:`repro.harness.runner.run_jobs`) kills and reaps that one
+worker, a replacement is spawned on the next submit, and the rest of
+the sweep never notices.  Workers are persistent -- they loop over
+jobs, amortizing spawn cost exactly like an executor pool -- and run
+the same :func:`~repro.harness.jobs.execute_captured` body the serial
+path uses, so parallel results stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import signal
+import time
+from typing import List, Optional, Tuple
+
+from repro.harness.jobs import JobSpec, execute_captured
+
+#: Seconds to wait for a worker to exit voluntarily before killing it.
+_JOIN_GRACE_S = 2.0
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``(index, spec, attempt)``, send the outcome.
+
+    SIGINT is ignored so a Ctrl-C on the parent's terminal (delivered to
+    the whole process group) leaves the drain decision to the
+    supervisor instead of killing workers mid-job at random.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if payload is None:
+            break
+        index, spec, attempt = payload
+        outcome = execute_captured(spec, attempt)
+        try:
+            conn.send((index,) + outcome)
+        except Exception:  # result not picklable: report it as an error
+            result, _error, _detail, wall = outcome
+            conn.send((index, None,
+                       f"unpicklable result for {spec.label}: "
+                       f"{type(result).__name__}", None, wall))
+    conn.close()
+
+
+class _InFlight:
+    """The job a worker is currently running, with its deadline."""
+
+    __slots__ = ("index", "spec", "attempt", "deadline", "started")
+
+    def __init__(self, index: int, spec: JobSpec, attempt: int,
+                 timeout_s: Optional[float]):
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.deadline = (self.started + timeout_s
+                         if timeout_s is not None else None)
+
+
+class WorkerHandle:
+    """One supervised worker process and its command/result pipe."""
+
+    __slots__ = ("process", "conn", "job")
+
+    def __init__(self, ctx):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True,
+            name="repro-harness-worker",
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.job: Optional[_InFlight] = None
+
+
+#: Poll outcome kinds: a worker finished its job, or died running it.
+DONE, CRASHED = "done", "crashed"
+
+
+class WorkerPool:
+    """At most ``max_workers`` live workers, spawned lazily on submit."""
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._ctx = multiprocessing.get_context()
+        self._workers: List[WorkerHandle] = []
+
+    # ------------------------------------------------------------------
+    def busy(self) -> List[WorkerHandle]:
+        return [w for w in self._workers if w.job is not None]
+
+    def has_capacity(self) -> bool:
+        """True when a submit would not have to wait for a worker."""
+        return (any(w.job is None for w in self._workers)
+                or len(self._workers) < self.max_workers)
+
+    def submit(self, index: int, spec: JobSpec, attempt: int,
+               timeout_s: Optional[float]) -> None:
+        """Hand one job to an idle worker (spawning one if needed)."""
+        worker = None
+        for candidate in self._workers:
+            if candidate.job is None:
+                if not candidate.process.is_alive():
+                    # An idle worker that died (should not happen) is
+                    # silently replaced; it was running nothing.
+                    self._reap(candidate)
+                    continue
+                worker = candidate
+                break
+        if worker is None:
+            if len(self._workers) >= self.max_workers:
+                raise RuntimeError("no idle worker (check has_capacity)")
+            worker = WorkerHandle(self._ctx)
+            self._workers.append(worker)
+        worker.job = _InFlight(index, spec, attempt, timeout_s)
+        worker.conn.send((index, spec, attempt))
+
+    # ------------------------------------------------------------------
+    def poll(
+        self, timeout: Optional[float],
+    ) -> List[Tuple[str, _InFlight, Optional[tuple]]]:
+        """Wait for worker activity and classify it.
+
+        Returns ``(kind, job, payload)`` tuples: ``(DONE, job,
+        (result, error, error_detail, wall_s))`` for a worker that sent
+        its outcome back (the worker returns to the idle set), or
+        ``(CRASHED, job, None)`` for a worker whose process died
+        mid-job (the worker is reaped; the pool shrinks until the next
+        submit respawns).
+        """
+        busy = self.busy()
+        if not busy:
+            return []
+        ready = multiprocessing.connection.wait(
+            [w.conn for w in busy], timeout=timeout,
+        )
+        events: List[Tuple[str, _InFlight, Optional[tuple]]] = []
+        by_conn = {w.conn: w for w in busy}
+        for conn in ready:
+            worker = by_conn[conn]
+            job = worker.job
+            try:
+                message = conn.recv()
+            except Exception:
+                # EOF/broken pipe: the worker died.  kill() also covers
+                # the rare live-but-corrupt-stream case -- either way
+                # this worker is unusable and its job is lost.
+                self.kill(worker)
+                events.append((CRASHED, job, None))
+                continue
+            index, result, error, detail, wall = message
+            assert job is not None and index == job.index
+            worker.job = None
+            events.append((DONE, job, (result, error, detail, wall)))
+        return events
+
+    def expired(self, now: Optional[float] = None) -> List[WorkerHandle]:
+        """Busy workers whose job ran past its deadline."""
+        now = time.monotonic() if now is None else now
+        return [w for w in self.busy()
+                if w.job.deadline is not None and now >= w.job.deadline]
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest deadline among in-flight jobs (monotonic time)."""
+        deadlines = [w.job.deadline for w in self.busy()
+                     if w.job.deadline is not None]
+        return min(deadlines) if deadlines else None
+
+    # ------------------------------------------------------------------
+    def kill(self, worker: WorkerHandle) -> None:
+        """Forcibly terminate one worker (hung or being drained)."""
+        if worker.process.is_alive():
+            worker.process.kill()
+        self._reap(worker)
+
+    def shutdown(self) -> None:
+        """Stop every worker: idle ones politely, busy ones forcibly."""
+        for worker in list(self._workers):
+            if worker.job is not None:
+                self.kill(worker)
+                continue
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+            worker.process.join(timeout=_JOIN_GRACE_S)
+            if worker.process.is_alive():  # pragma: no cover - stuck exit
+                worker.process.kill()
+            self._reap(worker)
+
+    def _reap(self, worker: WorkerHandle) -> None:
+        worker.process.join(timeout=_JOIN_GRACE_S)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker in self._workers:
+            self._workers.remove(worker)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

@@ -3,60 +3,103 @@
 :func:`run_jobs` takes an ordered list of :class:`JobSpec` and returns
 one :class:`JobResult` per spec **in the same order**, regardless of
 completion order.  ``jobs=1`` executes in-process (no pool, no pickling
--- the debuggable reference path); ``jobs>1`` fans misses out to a
-``ProcessPoolExecutor``.  Because every job is reconstructed from its
-spec inside the worker, parallel and serial runs produce bit-identical
-metrics -- a property the test suite locks.
+-- the debuggable reference path); ``jobs>1`` -- or any configured
+timeout -- fans misses out to a supervised
+:class:`~repro.harness.pool.WorkerPool`.  Because every job is
+reconstructed from its spec inside the worker, parallel and serial runs
+produce bit-identical metrics -- a property the test suite locks.
 
-Errors are captured *per job*: a point that raises yields a
-``JobResult`` carrying the error string while the rest of the sweep
-completes and caches normally.  Callers that need every point (the
-figure runners) raise :class:`HarnessError` on any failure; callers
-that stream artifacts (``repro sweep``) simply record the failed rows.
+Failures are captured *per job* and never abort the sweep:
+
+- a point that **raises** yields a ``JobResult`` with ``status="error"``
+  carrying the error string and a traceback tail;
+- a point that **hangs** past its wall-clock budget
+  (``JobSpec.timeout_s``, ``run_jobs(timeout_s=...)``, or
+  ``$REPRO_JOB_TIMEOUT``) has its worker killed and is reported
+  ``status="timeout"``;
+- a point whose **worker process dies** (OOM killer, SIGKILL) is
+  reported ``status="worker-crashed"``; the pool spawns a replacement
+  worker and the remaining points continue.  This is the supervised
+  pool's reason for existing: ``ProcessPoolExecutor`` would raise
+  ``BrokenProcessPool`` out of every in-flight future instead.
+
+``retries=N`` grants every failed point up to ``N`` more attempts
+(exponential backoff from ``retry_backoff_s``), and ``resume=`` seeds
+completed outcomes from a prior run's JSONL artifact so an interrupted
+sweep recomputes only missing or failed points.  All knobs default off,
+preserving bit-identical legacy behaviour.
+
+Callers that need every point (the figure runners) raise
+:class:`HarnessError` on any failure; callers that stream artifacts
+(``repro sweep``) simply record the failed rows.
 """
 
 from __future__ import annotations
 
+import collections
+import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import dataclasses
 
 from repro.common.errors import ReproError
 from repro.cpu.simulator import SimulationResult
 from repro.harness.artifacts import RunArtifact
-from repro.harness.cache import ResultCache
-from repro.harness.jobs import JobResult, JobSpec, execute_job
+from repro.harness.cache import ResultCache, simulation_result_from_dict
+from repro.harness.jobs import JobResult, JobSpec, execute_captured
+from repro.harness.pool import DONE, WorkerPool
+
+#: Environment variable supplying the default per-job timeout (seconds).
+TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
 
 
 class HarnessError(ReproError):
     """One or more jobs of a sweep failed (details in the message)."""
 
 
-def _execute_captured(
-    spec: JobSpec,
-) -> Tuple[Optional[SimulationResult], Optional[str], float]:
-    """Run one spec, trapping any exception into a string.
+def resolve_default_timeout(timeout_s: Optional[float]) -> Optional[float]:
+    """Run-level timeout: explicit argument, else ``$REPRO_JOB_TIMEOUT``.
 
-    Runs inside worker processes, so the error is stringified here --
-    arbitrary exception objects are not reliably picklable.
+    A malformed environment value raises :class:`HarnessError` -- a
+    mistyped timeout must not silently run an unbounded sweep.  Zero or
+    negative values mean "no timeout".
     """
-    start = time.perf_counter()
+    if timeout_s is None:
+        raw = os.environ.get(TIMEOUT_ENV)
+        if not raw:
+            return None
+        try:
+            timeout_s = float(raw)
+        except ValueError:
+            raise HarnessError(
+                f"bad {TIMEOUT_ENV} value {raw!r}: expected seconds"
+            ) from None
+    return timeout_s if timeout_s > 0 else None
+
+
+def _retry_delay(backoff_s: float, attempt: int) -> float:
+    """Exponential backoff: ``backoff_s * 2**attempt`` (attempt 0-based)."""
+    return backoff_s * (2.0 ** attempt)
+
+
+def _seed_from_record(spec: JobSpec, record: Dict[str, object],
+                      ) -> Optional[JobResult]:
+    """Rebuild a completed outcome from a prior artifact's job record.
+
+    Only ``status=="ok"`` rows carrying a full result payload are
+    usable; anything else (failed rows, rows from artifacts predating
+    result embedding, corrupt payloads) returns ``None`` and the point
+    is recomputed.
+    """
+    payload = record.get("result")
+    if record.get("status") != "ok" or not isinstance(payload, dict):
+        return None
     try:
-        result = execute_job(spec)
-        return result, None, time.perf_counter() - start
-    except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
-        error = f"{type(exc).__name__}: {exc}"
-        return None, error, time.perf_counter() - start
-
-
-def _pool_worker(
-    payload: Tuple[int, JobSpec],
-) -> Tuple[int, Optional[SimulationResult], Optional[str], float]:
-    index, spec = payload
-    result, error, wall = _execute_captured(spec)
-    return index, result, error, wall
+        result = simulation_result_from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return JobResult(spec=spec, result=result, cache_status="resume")
 
 
 def run_jobs(
@@ -66,23 +109,53 @@ def run_jobs(
     progress=None,
     artifact: Optional[RunArtifact] = None,
     observer=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    resume: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> List[JobResult]:
     """Execute ``specs`` and return their outcomes in input order.
 
-    Cache hits are resolved up front in the parent process (they never
-    occupy a worker); only misses are dispatched.  Each completed job is
-    reported to ``progress``, ``artifact`` and ``observer`` (an
-    :class:`~repro.obs.harness.HarnessObserver` or anything with a
-    ``job_done(outcome)`` method) as it lands, and stored in the cache
-    on success.
+    Resume seeds and cache hits are resolved up front in the parent
+    process (they never occupy a worker); only misses are dispatched.
+    Each completed job is reported to ``progress``, ``artifact`` and
+    ``observer`` (an :class:`~repro.obs.harness.HarnessObserver` or
+    anything with a ``job_done(outcome)`` method) as it lands, and
+    stored in the cache on success.  ``resume`` maps cache keys to job
+    records from a prior artifact (see
+    :func:`repro.harness.artifacts.load_resume_map`).
+
+    A ``KeyboardInterrupt`` drains gracefully: workers are killed, and
+    every outcome that already landed has been streamed to the artifact
+    -- re-running with that artifact as ``resume`` picks up where the
+    interrupted sweep stopped.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if retry_backoff_s < 0:
+        raise ValueError("retry_backoff_s must be >= 0")
+    default_timeout = resolve_default_timeout(timeout_s)
+
+    def job_timeout(spec: JobSpec) -> Optional[float]:
+        if spec.timeout_s is not None:
+            return spec.timeout_s
+        return default_timeout
+
     outcomes: List[Optional[JobResult]] = [None] * len(specs)
     pending: List[Tuple[int, JobSpec]] = []
 
     cache_status = "off" if cache is None else "miss"
     for index, spec in enumerate(specs):
+        if resume:
+            record = resume.get(spec.cache_key())
+            if record is not None:
+                seeded = _seed_from_record(spec, record)
+                if seeded is not None:
+                    outcomes[index] = seeded
+                    _report(seeded, progress, artifact, observer)
+                    continue
         if cache is not None:
             start = time.perf_counter()
             result = cache.get(spec)
@@ -97,8 +170,8 @@ def run_jobs(
                 continue
         pending.append((index, spec))
 
-    def finish(index: int, result, error, wall) -> None:
-        spec = specs[index]
+    def finish(index: int, spec: JobSpec, result, error, detail, wall,
+               status: str = "", attempt: int = 0) -> None:
         if cache is not None and error is None:
             cache.put(spec, result, wall_time_s=wall)
         outcomes[index] = JobResult(
@@ -107,26 +180,137 @@ def run_jobs(
             error=error,
             wall_time_s=wall,
             cache_status=cache_status,
+            status=status,
+            error_detail=detail,
+            retries=attempt,
         )
         _report(outcomes[index], progress, artifact, observer)
 
-    if jobs == 1 or len(pending) <= 1:
-        for index, spec in pending:
-            result, error, wall = _execute_captured(spec)
-            finish(index, result, error, wall)
-    else:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_pool_worker, item) for item in pending
-            }
-            while futures:
-                done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, result, error, wall = future.result()
-                    finish(index, result, error, wall)
+    def notify_retry(spec: JobSpec, attempt: int, error: str) -> None:
+        if observer is not None and hasattr(observer, "job_retry"):
+            observer.job_retry(spec, attempt, error)
 
-    return [outcome for outcome in outcomes if outcome is not None]
+    # The in-process path stays the default (debuggable, zero overhead)
+    # unless real parallelism is requested or any job carries a timeout
+    # -- enforcing a wall-clock budget requires a killable worker, so a
+    # serial run with a timeout is supervised by a one-worker pool.
+    needs_pool = any(job_timeout(spec) is not None for _, spec in pending)
+    if pending and (needs_pool or (jobs > 1 and len(pending) > 1)):
+        _run_pooled(pending, min(jobs, len(pending)), job_timeout,
+                    retries, retry_backoff_s, finish, notify_retry)
+    else:
+        for index, spec in pending:
+            attempt = 0
+            while True:
+                result, error, detail, wall = execute_captured(spec, attempt)
+                if error is None or attempt >= retries:
+                    break
+                notify_retry(spec, attempt, error)
+                delay = _retry_delay(retry_backoff_s, attempt)
+                attempt += 1
+                if delay > 0:
+                    time.sleep(delay)
+            finish(index, spec, result, error, detail, wall,
+                   attempt=attempt)
+
+    # Any unfilled slot is a harness bookkeeping bug; silently dropping
+    # it would hand callers a truncated list whose positions no longer
+    # line up with their specs.
+    missing = [index for index, outcome in enumerate(outcomes)
+               if outcome is None]
+    if missing:
+        shown = ", ".join(specs[i].label for i in missing[:3])
+        more = "" if len(missing) <= 3 else f", +{len(missing) - 3} more"
+        raise HarnessError(
+            f"internal error: {len(missing)}/{len(specs)} job slots left "
+            f"unfilled ({shown}{more}); refusing to return a truncated "
+            f"sweep"
+        )
+    return outcomes
+
+
+#: One queued (or requeued) unit of work awaiting a worker.
+_QueueEntry = Tuple[int, JobSpec, int, float]  # index, spec, attempt, t_ready
+
+
+def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
+                finish, notify_retry) -> None:
+    """Schedule ``pending`` over a supervised pool until all terminate.
+
+    Owns the retry queue and deadline enforcement; terminal outcomes are
+    delivered through ``finish``.  Workers are always torn down on the
+    way out, including on ``KeyboardInterrupt`` -- landed outcomes have
+    already been streamed, which is what makes an interrupted sweep
+    resumable.
+    """
+    queue: Deque[_QueueEntry] = collections.deque(
+        (index, spec, 0, 0.0) for index, spec in pending
+    )
+
+    def requeue_or_fail(job, error, detail, wall, status) -> None:
+        if job.attempt < retries:
+            notify_retry(job.spec, job.attempt, error)
+            ready = time.monotonic() + _retry_delay(retry_backoff_s,
+                                                    job.attempt)
+            queue.append((job.index, job.spec, job.attempt + 1, ready))
+        else:
+            finish(job.index, job.spec, None, error, detail, wall,
+                   status=status, attempt=job.attempt)
+
+    with WorkerPool(workers) as pool:
+        while queue or pool.busy():
+            now = time.monotonic()
+            # Dispatch every ready entry to available capacity; entries
+            # still backing off go back to the front, order preserved.
+            deferred: List[_QueueEntry] = []
+            while queue and pool.has_capacity():
+                entry = queue.popleft()
+                if entry[3] > now:
+                    deferred.append(entry)
+                    continue
+                index, spec, attempt, _ready = entry
+                pool.submit(index, spec, attempt, job_timeout(spec))
+            queue.extendleft(reversed(deferred))
+
+            if not pool.busy():
+                if not queue:
+                    break
+                # Everything queued is backing off; sleep until the
+                # earliest entry becomes ready.
+                wake = min(entry[3] for entry in queue)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            wakes = [entry[3] for entry in queue if entry[3] > now]
+            deadline = pool.next_deadline()
+            if deadline is not None:
+                wakes.append(deadline)
+            timeout = (max(0.0, min(wakes) - time.monotonic())
+                       if wakes else None)
+
+            for kind, job, payload in pool.poll(timeout):
+                if kind == DONE:
+                    result, error, detail, wall = payload
+                    if error is None:
+                        finish(job.index, job.spec, result, None, None,
+                               wall, attempt=job.attempt)
+                    else:
+                        requeue_or_fail(job, error, detail, wall, "error")
+                else:  # the worker process died mid-job
+                    wall = time.monotonic() - job.started
+                    error = (f"worker process died while running "
+                             f"{job.spec.label} (killed or out of memory)")
+                    requeue_or_fail(job, error, None, wall,
+                                    "worker-crashed")
+
+            for worker in pool.expired():
+                job = worker.job
+                pool.kill(worker)
+                wall = time.monotonic() - job.started
+                budget = job_timeout(job.spec)
+                error = (f"timed out after {wall:.1f}s "
+                         f"(budget {budget:g}s)")
+                requeue_or_fail(job, error, None, wall, "timeout")
 
 
 def _report(outcome: JobResult, progress, artifact, observer=None) -> None:
@@ -143,9 +327,11 @@ class Harness:
     """Bundle of execution options threaded through the figure runners.
 
     ``Harness()`` is the neutral configuration -- serial, uncached,
-    silent -- so every runner keeps its old behaviour when no harness is
-    passed.  The CLI builds one from ``--jobs`` / ``--cache-dir`` /
-    ``--no-cache``; benchmarks from ``REPRO_BENCH_JOBS`` etc.
+    silent, no timeouts or retries -- so every runner keeps its old
+    behaviour when no harness is passed.  The CLI builds one from
+    ``--jobs`` / ``--cache-dir`` / ``--no-cache`` / ``--timeout`` /
+    ``--retries`` / ``--resume``; benchmarks from ``REPRO_BENCH_JOBS``
+    etc.
     """
 
     jobs: int = 1
@@ -153,6 +339,16 @@ class Harness:
     progress: object = None
     artifact: Optional[RunArtifact] = None
     observer: object = None
+    #: Default per-job wall-clock budget (``None``: $REPRO_JOB_TIMEOUT,
+    #: else unbounded).  ``JobSpec.timeout_s`` overrides per job.
+    timeout_s: Optional[float] = None
+    #: Extra attempts granted to each failed job.
+    retries: int = 0
+    #: First retry delay in seconds; doubles on each further attempt.
+    retry_backoff_s: float = 0.0
+    #: ``cache_key -> job record`` map from a prior run's artifact
+    #: (:func:`repro.harness.artifacts.load_resume_map`).
+    resume: Optional[Dict[str, Dict[str, object]]] = None
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         return run_jobs(
@@ -162,6 +358,10 @@ class Harness:
             progress=self.progress,
             artifact=self.artifact,
             observer=self.observer,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+            retry_backoff_s=self.retry_backoff_s,
+            resume=self.resume,
         )
 
     def run_strict(

@@ -31,10 +31,14 @@ class HarnessObserver:
         self.done = 0
         self.errors = 0
         self.cache_hits = 0
+        self.resumed = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.retries = 0
         #: Progress samples, one per completed job (columnar).
         self.columns: Dict[str, List[float]] = {
             "t_ns": [], "jobs_done": [], "cache_hits": [], "errors": [],
-            "job_wall_s": [],
+            "job_wall_s": [], "retries": [],
         }
         self._finished = False
         #: Artifact destinations the CLI wires up; written at finish().
@@ -50,21 +54,45 @@ class HarnessObserver:
         """Record one finished :class:`~repro.harness.jobs.JobResult`."""
         now_ns = self._now_ns()
         self.done += 1
+        status = getattr(outcome, "status",
+                         "ok" if outcome.ok else "error")
         if not outcome.ok:
             self.errors += 1
+        if status == "timeout":
+            self.timeouts += 1
+        elif status == "worker-crashed":
+            self.crashes += 1
         if outcome.cache_status == "hit":
             self.cache_hits += 1
+        elif outcome.cache_status == "resume":
+            self.resumed += 1
         wall_ns = outcome.wall_time_s * 1e9
         self.tracer.event(
             "job", outcome.spec.label, max(0.0, now_ns - wall_ns),
             dur_ns=wall_ns,
-            args={"cache": outcome.cache_status, "ok": outcome.ok},
+            args={"cache": outcome.cache_status, "ok": outcome.ok,
+                  "status": status,
+                  "retries": getattr(outcome, "retries", 0)},
         )
         self.columns["t_ns"].append(now_ns)
         self.columns["jobs_done"].append(float(self.done))
         self.columns["cache_hits"].append(float(self.cache_hits))
         self.columns["errors"].append(float(self.errors))
         self.columns["job_wall_s"].append(outcome.wall_time_s)
+        self.columns["retries"].append(float(self.retries))
+
+    def job_retry(self, spec, attempt: int, error: str) -> None:
+        """Record one retry decision (job failed, another attempt granted).
+
+        Instant events rather than slices: the failed attempt's wall
+        time is folded into the job's terminal slice, while the retry
+        marks *when* the harness decided to go again and why.
+        """
+        self.retries += 1
+        self.tracer.event(
+            "retry", spec.label, self._now_ns(),
+            args={"attempt": attempt, "error": error},
+        )
 
     def finish(self) -> None:
         """Close the run slice and write any configured artifacts."""

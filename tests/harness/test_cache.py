@@ -97,6 +97,63 @@ def test_clear_removes_everything(tmp_path):
     assert cache.get(SPEC) is None
 
 
+def _plant_tmp(cache, name, age_s=0.0):
+    """Drop a write-staging orphan into the objects store."""
+    shard = os.path.join(cache.objects_dir, "ab")
+    os.makedirs(shard, exist_ok=True)
+    path = os.path.join(shard, name)
+    with open(path, "w") as handle:
+        handle.write("{partial")
+    if age_s:
+        import time
+
+        old = time.time() - age_s
+        os.utime(path, (old, old))
+    return path
+
+
+def test_construction_sweeps_old_tmp_orphans(tmp_path):
+    first = ResultCache(str(tmp_path))
+    stale = _plant_tmp(first, "dead.tmp", age_s=3600.0)
+    fresh = _plant_tmp(first, "live.tmp")  # a concurrent writer's file
+    cache = ResultCache(str(tmp_path))
+    assert not os.path.exists(stale)  # orphan gone
+    assert os.path.exists(fresh)  # young file untouched
+    assert cache.stats.stale_tmp == 1
+    assert "stale_tmp" in cache.stats.as_dict()
+
+
+def test_clear_sweeps_tmp_regardless_of_age(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(SPEC, execute_job(SPEC))
+    fresh = _plant_tmp(cache, "live.tmp")
+    assert cache.clear() == 2  # one object + one staging file
+    assert not os.path.exists(fresh)
+    assert cache.stats.stale_tmp == 1
+
+
+def test_interrupted_put_leaves_no_tmp(tmp_path, monkeypatch):
+    # put() already unlinks its staging file when the write itself
+    # raises; the sweep is for writers killed outright.
+    cache = ResultCache(str(tmp_path))
+
+    def refuse(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "replace", refuse)
+    import pytest
+
+    with pytest.raises(OSError):
+        cache.put(SPEC, execute_job(SPEC))
+    leftovers = [
+        name
+        for _dir, _sub, files in os.walk(cache.objects_dir)
+        for name in files
+        if name.endswith(".tmp")
+    ]
+    assert leftovers == []
+
+
 def test_env_var_picks_cache_dir(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
     cache = ResultCache()

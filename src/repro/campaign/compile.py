@@ -1,0 +1,215 @@
+"""Compile a campaign spec into harness jobs and execute it.
+
+The compiler is a pure function from :class:`CampaignSpec` to an
+ordered list of :class:`CampaignJob` -- one per (cell, repetition),
+each carrying the derived seed and the fully-populated
+:class:`~repro.harness.jobs.JobSpec`.  Execution then rides the PR-5
+supervised harness unchanged: worker fan-out, per-job timeouts,
+retries, the content-addressed result cache, and JSONL artifact
+streaming (which is what makes an interrupted campaign resumable) all
+come for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.designs.registry import ALL_DESIGN_NAMES
+from repro.harness.artifacts import job_metrics
+from repro.harness.jobs import JobResult, JobSpec, infer_workload_kind
+from repro.harness.runner import Harness
+from repro.campaign.spec import FACTOR_FIELDS, CampaignSpec, Cell
+
+#: Per-cell, per-repetition metric samples: the reduction input shared
+#: by live runs and artifact replays.  ``results[cell_index][rep]`` is
+#: the metric dict of that repetition; failed repetitions are absent.
+CellResults = Dict[int, Dict[int, Dict[str, float]]]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignJob:
+    """One executable point: a cell, a repetition, and its job spec."""
+
+    cell_index: int
+    cell: Cell
+    repetition: int
+    seed: int
+    spec: JobSpec
+
+
+def _job_spec(campaign: CampaignSpec, cell: Cell, repetition: int,
+              ) -> JobSpec:
+    """Build the harness job for one (cell, repetition)."""
+    kwargs: Dict[str, object] = {}
+    for name, value in campaign.fixed:
+        kwargs[FACTOR_FIELDS[name]] = value
+    for name, value in cell.assignment:
+        kwargs[FACTOR_FIELDS[name]] = value
+    design = kwargs.get("design")
+    if design is None:
+        raise ConfigurationError(
+            "campaign needs 'design' as a factor or fixed setting"
+        )
+    if design not in ALL_DESIGN_NAMES:
+        raise ConfigurationError(
+            f"unknown design {design!r}; expected one of "
+            f"{', '.join(ALL_DESIGN_NAMES)}"
+        )
+    workload = kwargs.get("workload")
+    if workload is None:
+        raise ConfigurationError(
+            "campaign needs 'workload' as a factor or fixed setting"
+        )
+    kind = infer_workload_kind(str(workload))
+    kwargs.setdefault("num_cores", 1 if kind == "spec" else 4)
+    kwargs["workload_kind"] = kind
+    kwargs["base_seed"] = campaign.repetition_seed(cell, repetition)
+    return JobSpec(**kwargs)
+
+
+def expand(campaign: CampaignSpec) -> List[CampaignJob]:
+    """Expand the factor grid into jobs, repetitions innermost.
+
+    Deterministic: the same spec always expands to the same jobs in the
+    same order, which is what lets ``campaign report`` re-associate
+    artifact rows with cells and lets a resumed run address the exact
+    cache entries its predecessor computed.
+    """
+    jobs: List[CampaignJob] = []
+    for cell_index, cell in enumerate(campaign.cells()):
+        for repetition in range(campaign.repetitions):
+            spec = _job_spec(campaign, cell, repetition)
+            jobs.append(CampaignJob(
+                cell_index=cell_index,
+                cell=cell,
+                repetition=repetition,
+                seed=spec.base_seed,
+                spec=spec,
+            ))
+    return jobs
+
+
+@dataclasses.dataclass
+class CampaignRun:
+    """Outcome of executing one campaign: jobs, results, and health."""
+
+    campaign: CampaignSpec
+    jobs: List[CampaignJob]
+    outcomes: List[JobResult]
+
+    def cell_results(self) -> CellResults:
+        """Group successful outcomes into the reduction input."""
+        results: CellResults = {}
+        for job, outcome in zip(self.jobs, self.outcomes):
+            if not outcome.ok:
+                continue
+            metrics = job_metrics(outcome.result)
+            results.setdefault(job.cell_index, {})[job.repetition] = {
+                key: value for key, value in metrics.items()
+                if isinstance(value, (int, float))
+            }
+        return results
+
+    def counters(self) -> Dict[str, int]:
+        """Execution-health accounting for the run summary.
+
+        ``computed`` counts points that actually ran this invocation
+        (cache misses); ``resumed``/``cache_hits`` together say how much
+        work a resume or a warm cache saved -- the counters the
+        acceptance checks read to verify resume recomputes only what is
+        missing.
+        """
+        counters = {
+            "jobs": len(self.outcomes),
+            "errors": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+            "retries": 0,
+            "resumed": 0,
+            "cache_hits": 0,
+            "computed": 0,
+        }
+        for outcome in self.outcomes:
+            counters["retries"] += outcome.retries
+            if outcome.status == "timeout":
+                counters["timeouts"] += 1
+            elif outcome.status == "worker-crashed":
+                counters["worker_crashes"] += 1
+            elif outcome.status == "error":
+                counters["errors"] += 1
+            if outcome.cache_status == "resume":
+                counters["resumed"] += 1
+            elif outcome.cache_status == "hit":
+                counters["cache_hits"] += 1
+            elif outcome.ok:
+                counters["computed"] += 1
+        counters["errors"] += counters["timeouts"] + counters["worker_crashes"]
+        return counters
+
+
+def run_campaign(campaign: CampaignSpec, harness: Harness) -> CampaignRun:
+    """Execute every (cell, repetition) of ``campaign`` through ``harness``."""
+    jobs = expand(campaign)
+    outcomes = harness.run([job.spec for job in jobs])
+    return CampaignRun(campaign=campaign, jobs=jobs, outcomes=outcomes)
+
+
+def _spec_identity(spec: JobSpec) -> str:
+    """Code-version-independent identity of a job spec.
+
+    Artifact rows embed the full spec dict; matching on its canonical
+    JSON (rather than the cache key, which folds in the code
+    fingerprint) lets ``campaign report`` reduce artifacts produced by
+    an older build of the simulator.
+    """
+    return json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def results_from_artifact(campaign: CampaignSpec, path: str,
+                          ) -> Tuple[List[CampaignJob], CellResults]:
+    """Re-associate a prior run's artifact rows with the campaign grid.
+
+    Returns the expansion plus the reduction input recovered from
+    ``status=="ok"`` rows.  Rows that match no expanded job (edited
+    study, foreign artifact) are ignored; the caller can diff
+    ``len(jobs) * repetitions`` against the recovered count to report
+    missing points.  The last row per job wins, so chained resume
+    artifacts reduce correctly.
+    """
+    jobs = expand(campaign)
+    by_identity = {_spec_identity(job.spec): job for job in jobs}
+    results: CellResults = {}
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A torn trailing line (the run died mid-write) forfeits
+                # that one row, not the whole artifact.
+                continue
+    for record in records:
+        if record.get("record") != "job" or record.get("status") != "ok":
+            continue
+        spec_dict = record.get("spec")
+        metrics = record.get("metrics")
+        if not isinstance(spec_dict, dict) or not isinstance(metrics, dict):
+            continue
+        try:
+            identity = _spec_identity(JobSpec.from_dict(spec_dict))
+        except (ConfigurationError, TypeError):
+            continue
+        job = by_identity.get(identity)
+        if job is None:
+            continue
+        results.setdefault(job.cell_index, {})[job.repetition] = {
+            key: value for key, value in metrics.items()
+            if isinstance(value, (int, float))
+        }
+    return jobs, results

@@ -1,0 +1,299 @@
+"""Declarative campaign specifications: factors x levels x repetitions.
+
+A :class:`CampaignSpec` names a study once -- which factors vary
+(design, workload, cache_mb, ...), over which levels, how many seeded
+repetitions each cell runs, and which metrics the reduction reports --
+and everything else follows mechanically: the compiler expands it into
+:class:`~repro.harness.jobs.JobSpec` points, the harness executes them
+with caching/timeouts/retries/resume, and the reporter reduces the
+repetitions to means, confidence intervals and paired speedups.
+
+Seed policy
+-----------
+Every (cell, repetition) pair gets a child seed derived with
+:func:`repro.common.rng.derive_seed` from the campaign seed and the
+cell's factor assignment **excluding the design factor**.  Two designs
+evaluated on otherwise-identical cells therefore share their
+per-repetition seeds -- the property that makes design-vs-baseline
+speedup ratios *paired* statistics instead of comparisons of unrelated
+draws.  Factor names are sorted before derivation, so reordering the
+factors in a study file never re-rolls its seeds.
+
+Specs load from JSON (anywhere) or TOML (Python >= 3.11) and hash
+stably: :meth:`CampaignSpec.spec_hash` digests the canonical dict form,
+so a campaign directory can detect that it is being resumed with an
+edited study.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:  # Python >= 3.11; JSON studies keep 3.10 fully supported.
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on py3.10 CI only
+    tomllib = None
+
+from repro.common import rng
+from repro.common.errors import ConfigurationError
+
+#: Campaign factor name -> :class:`~repro.harness.jobs.JobSpec` field.
+#: The same namespace serves ``factors`` (varied) and ``fixed``
+#: (held constant); a name may appear in only one of the two.
+FACTOR_FIELDS: Dict[str, str] = {
+    "design": "design",
+    "workload": "workload",
+    "accesses": "accesses",
+    "cache_mb": "cache_megabytes",
+    "cores": "num_cores",
+    "replacement": "replacement",
+    "scale": "capacity_scale",
+    "warmup": "warmup_fraction",
+    "parsec_threads": "parsec_threads",
+    "nc_threshold": "nc_threshold",
+}
+
+#: Metrics a campaign may reduce -- the scalar keys of
+#: :func:`repro.harness.artifacts.job_metrics`.
+METRIC_KEYS = ("ipc", "instructions", "elapsed_ms",
+               "mean_l3_latency_cycles", "energy_j", "edp_js")
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One point of the factor grid: an ordered factor assignment."""
+
+    assignment: Tuple[Tuple[str, object], ...]
+
+    def get(self, factor: str) -> object:
+        for name, level in self.assignment:
+            if name == factor:
+                return level
+        raise KeyError(factor)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.assignment)
+
+    @property
+    def label(self) -> str:
+        """``factor=level`` pairs in declaration order."""
+        return " ".join(f"{name}={level}" for name, level in self.assignment)
+
+    def pairing_assignment(self) -> Tuple[Tuple[str, object], ...]:
+        """The assignment without the design factor, sorted by name.
+
+        This is the identity of a *pairing group*: cells equal under it
+        differ only in design and share per-repetition seeds.
+        """
+        return tuple(sorted(
+            (name, level) for name, level in self.assignment
+            if name != "design"
+        ))
+
+    @property
+    def pairing_label(self) -> str:
+        return " ".join(f"{name}={level}"
+                        for name, level in self.pairing_assignment())
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that defines one study, independent of execution."""
+
+    name: str
+    factors: Tuple[Tuple[str, Tuple[object, ...]], ...]
+    repetitions: int = 3
+    fixed: Tuple[Tuple[str, object], ...] = ()
+    metrics: Tuple[str, ...] = ("ipc",)
+    #: Design level every other design is compared against in the
+    #: paired-speedup tables; defaults to the first design level.
+    baseline: Optional[str] = None
+    #: Campaign seed all per-repetition seeds derive from; ``None``
+    #: means the library default (:data:`repro.common.rng.BASE_SEED`).
+    seed: Optional[int] = None
+    confidence: float = 0.95
+    bootstrap_resamples: int = 2000
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError("campaign needs a non-empty name")
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        if not self.factors:
+            raise ConfigurationError("campaign needs at least one factor")
+        seen = set()
+        for factor, levels in self.factors:
+            if factor not in FACTOR_FIELDS:
+                raise ConfigurationError(
+                    f"unknown factor {factor!r}; expected one of "
+                    f"{', '.join(sorted(FACTOR_FIELDS))}"
+                )
+            if factor in seen:
+                raise ConfigurationError(f"duplicate factor {factor!r}")
+            seen.add(factor)
+            if not levels:
+                raise ConfigurationError(
+                    f"factor {factor!r} needs at least one level"
+                )
+            if len(set(levels)) != len(levels):
+                raise ConfigurationError(
+                    f"factor {factor!r} has duplicate levels"
+                )
+        for name, _value in self.fixed:
+            if name not in FACTOR_FIELDS:
+                raise ConfigurationError(
+                    f"unknown fixed setting {name!r}; expected one of "
+                    f"{', '.join(sorted(FACTOR_FIELDS))}"
+                )
+            if name in seen:
+                raise ConfigurationError(
+                    f"{name!r} appears in both factors and fixed"
+                )
+        for metric in self.metrics:
+            if metric not in METRIC_KEYS:
+                raise ConfigurationError(
+                    f"unknown metric {metric!r}; expected one of "
+                    f"{', '.join(METRIC_KEYS)}"
+                )
+        if not self.metrics:
+            raise ConfigurationError("campaign needs at least one metric")
+        if self.baseline is not None:
+            designs = self.design_levels()
+            if self.baseline not in designs:
+                raise ConfigurationError(
+                    f"baseline {self.baseline!r} is not a design level "
+                    f"({', '.join(str(d) for d in designs) or 'none'})"
+                )
+        if not (0.0 < self.confidence < 1.0):
+            raise ConfigurationError("confidence must be in (0, 1)")
+        if self.bootstrap_resamples < 1:
+            raise ConfigurationError("bootstrap_resamples must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def campaign_seed(self) -> int:
+        return self.seed if self.seed is not None else rng.BASE_SEED
+
+    def design_levels(self) -> Tuple[object, ...]:
+        for factor, levels in self.factors:
+            if factor == "design":
+                return levels
+        return ()
+
+    @property
+    def effective_baseline(self) -> Optional[str]:
+        """The baseline design: explicit, else the first design level."""
+        if self.baseline is not None:
+            return self.baseline
+        designs = self.design_levels()
+        return str(designs[0]) if len(designs) >= 2 else None
+
+    def cells(self) -> List[Cell]:
+        """The full factor grid, in declaration order (rightmost fastest)."""
+        names = [factor for factor, _levels in self.factors]
+        level_lists = [levels for _factor, levels in self.factors]
+        return [
+            Cell(assignment=tuple(zip(names, combo)))
+            for combo in itertools.product(*level_lists)
+        ]
+
+    def repetition_seed(self, cell: Cell, repetition: int) -> int:
+        """The RNG base seed for one (cell, repetition) run.
+
+        Derived from everything *except* the design factor so designs
+        sharing a pairing group share seeds (see the module docstring).
+        """
+        components: List[object] = ["campaign"]
+        for name, level in cell.pairing_assignment():
+            components.extend((name, level))
+        components.extend(("rep", repetition))
+        return rng.derive_seed(self.campaign_seed, *components)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "factors": {factor: list(levels)
+                        for factor, levels in self.factors},
+            "repetitions": self.repetitions,
+            "fixed": dict(self.fixed),
+            "metrics": list(self.metrics),
+            "baseline": self.baseline,
+            "seed": self.seed,
+            "confidence": self.confidence,
+            "bootstrap_resamples": self.bootstrap_resamples,
+        }
+
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit digest of the canonical spec content."""
+        text = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError("campaign spec must be a mapping")
+        known = {"name", "factors", "repetitions", "fixed", "metrics",
+                 "baseline", "seed", "confidence", "bootstrap_resamples"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown campaign keys: {', '.join(unknown)}"
+            )
+        factors = data.get("factors")
+        if not isinstance(factors, Mapping):
+            raise ConfigurationError(
+                "campaign 'factors' must be a mapping of factor -> levels"
+            )
+        factor_items = []
+        for factor, levels in factors.items():
+            if not isinstance(levels, Sequence) or isinstance(levels, str):
+                raise ConfigurationError(
+                    f"levels of factor {factor!r} must be a list"
+                )
+            factor_items.append((str(factor), tuple(levels)))
+        fixed = data.get("fixed", {})
+        if not isinstance(fixed, Mapping):
+            raise ConfigurationError("campaign 'fixed' must be a mapping")
+        metrics = data.get("metrics", ["ipc"])
+        if not isinstance(metrics, Sequence) or isinstance(metrics, str):
+            raise ConfigurationError("campaign 'metrics' must be a list")
+        return cls(
+            name=str(data.get("name", "")),
+            factors=tuple(factor_items),
+            repetitions=int(data.get("repetitions", 3)),
+            fixed=tuple((str(k), v) for k, v in fixed.items()),
+            metrics=tuple(str(m) for m in metrics),
+            baseline=(None if data.get("baseline") is None
+                      else str(data["baseline"])),
+            seed=(None if data.get("seed") is None
+                  else int(data["seed"])),
+            confidence=float(data.get("confidence", 0.95)),
+            bootstrap_resamples=int(data.get("bootstrap_resamples", 2000)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "CampaignSpec":
+        """Load a study from a ``.json`` or ``.toml`` file."""
+        if path.endswith(".toml"):
+            if tomllib is None:
+                raise ConfigurationError(
+                    "TOML studies need Python >= 3.11 (tomllib); "
+                    "use the JSON form on this interpreter"
+                )
+            with open(path, "rb") as handle:
+                data = tomllib.load(handle)
+        else:
+            with open(path) as handle:
+                try:
+                    data = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{path} is not valid JSON: {exc}"
+                    ) from None
+        return cls.from_dict(data)

@@ -1,0 +1,258 @@
+"""Statistical reduction for campaign studies.
+
+A campaign cell is a factor assignment run ``repetitions`` times under
+independent (but deterministically derived) seeds; this module turns
+those per-repetition metric samples into the numbers a study report
+needs: location (mean/median), dispersion, t-based and bootstrap 95 %
+confidence intervals, paired speedup ratios between designs that share
+seeds, and the two standard effect sizes (Cohen's d, Cliff's delta).
+
+Everything here is deterministic: the bootstrap draws from a numpy
+generator seeded by the caller (campaigns derive it from the study seed
+via :func:`repro.common.rng.derive_seed`), and the Student-t quantile is
+computed from closed forms (df 1 and 2) plus the Cornish-Fisher
+expansion (df >= 3) -- no SciPy dependency, errors below 1e-2 on the
+quantiles a 95 % interval uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from statistics import NormalDist
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.stats import geometric_mean
+
+#: Default two-sided confidence level for every interval.
+DEFAULT_CONFIDENCE = 0.95
+
+#: Default bootstrap resample count (percentile bootstrap of the mean).
+DEFAULT_RESAMPLES = 2000
+
+_STANDARD_NORMAL = NormalDist()
+
+
+def t_ppf(p: float, df: int) -> float:
+    """Quantile of Student's t distribution (two closed forms + series).
+
+    >>> round(t_ppf(0.975, 1), 3)
+    12.706
+    >>> round(t_ppf(0.975, 4), 2)
+    2.78
+    """
+    if not (0.0 < p < 1.0):
+        raise ValueError("p must be in (0, 1)")
+    if df < 1:
+        raise ValueError("df must be >= 1")
+    if df == 1:
+        return math.tan(math.pi * (p - 0.5))
+    if df == 2:
+        return (2.0 * p - 1.0) * math.sqrt(2.0 / (4.0 * p * (1.0 - p)))
+    z = _STANDARD_NORMAL.inv_cdf(p)
+    g1 = (z ** 3 + z) / 4.0
+    g2 = (5 * z ** 5 + 16 * z ** 3 + 3 * z) / 96.0
+    g3 = (3 * z ** 7 + 19 * z ** 5 + 17 * z ** 3 - 15 * z) / 384.0
+    g4 = (79 * z ** 9 + 776 * z ** 7 + 1482 * z ** 5
+          - 1920 * z ** 3 - 945 * z) / 92160.0
+    return z + g1 / df + g2 / df ** 2 + g3 / df ** 3 + g4 / df ** 4
+
+
+def sample_stdev(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; 0.0 below two samples."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+
+
+def t_interval(values: Sequence[float],
+               confidence: float = DEFAULT_CONFIDENCE,
+               ) -> Tuple[float, float]:
+    """Two-sided t confidence interval for the mean.
+
+    With fewer than two samples there is no dispersion estimate and the
+    interval collapses to the point itself -- reports then show a zero
+    width rather than a fabricated one.
+    """
+    if not values:
+        raise ValueError("t_interval needs at least one sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, mean
+    half = (t_ppf(0.5 + confidence / 2.0, n - 1)
+            * sample_stdev(values) / math.sqrt(n))
+    return mean - half, mean + half
+
+
+def bootstrap_interval(values: Sequence[float],
+                       confidence: float = DEFAULT_CONFIDENCE,
+                       resamples: int = DEFAULT_RESAMPLES,
+                       seed: int = 0) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Deterministic given ``seed``; campaigns derive one per (cell,
+    metric) so repeated reductions of the same study are bit-identical.
+    """
+    if not values:
+        raise ValueError("bootstrap_interval needs at least one sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    if resamples < 1:
+        raise ValueError("resamples must be >= 1")
+    data = np.asarray(values, dtype=float)
+    n = len(data)
+    if n < 2:
+        return float(data[0]), float(data[0])
+    generator = np.random.default_rng(seed)
+    indices = generator.integers(0, n, size=(resamples, n))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)))
+
+
+def cohens_d(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cohen's d with the pooled (n-1)-weighted standard deviation.
+
+    Returns 0.0 when the pooled deviation is zero (identical constant
+    samples) -- an honest "no measurable standardized effect" rather
+    than an infinity that would poison JSON reports.
+    """
+    if not a or not b:
+        raise ValueError("cohens_d needs two non-empty samples")
+    na, nb = len(a), len(b)
+    mean_a = sum(a) / na
+    mean_b = sum(b) / nb
+    dof = na + nb - 2
+    if dof <= 0:
+        return 0.0
+    pooled_var = ((na - 1) * sample_stdev(a) ** 2
+                  + (nb - 1) * sample_stdev(b) ** 2) / dof
+    if pooled_var == 0.0:
+        return 0.0
+    return (mean_a - mean_b) / math.sqrt(pooled_var)
+
+
+def cliffs_delta(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cliff's delta: P(a > b) - P(a < b) over all cross pairs, in [-1, 1]."""
+    if not a or not b:
+        raise ValueError("cliffs_delta needs two non-empty samples")
+    greater = sum(1 for x in a for y in b if x > y)
+    less = sum(1 for x in a for y in b if x < y)
+    return (greater - less) / (len(a) * len(b))
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleSummary:
+    """Reduction of one cell's repetitions for one metric."""
+
+    n: int
+    mean: float
+    median: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    boot_low: float
+    boot_high: float
+    minimum: float
+    maximum: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def summarize(values: Sequence[float],
+              confidence: float = DEFAULT_CONFIDENCE,
+              resamples: int = DEFAULT_RESAMPLES,
+              seed: int = 0) -> SampleSummary:
+    """Reduce one metric's repetition samples to a :class:`SampleSummary`."""
+    if not values:
+        raise ValueError("summarize needs at least one sample")
+    data = sorted(float(v) for v in values)
+    n = len(data)
+    mid = n // 2
+    median = data[mid] if n % 2 else (data[mid - 1] + data[mid]) / 2.0
+    ci_low, ci_high = t_interval(data, confidence)
+    boot_low, boot_high = bootstrap_interval(data, confidence, resamples,
+                                             seed)
+    return SampleSummary(
+        n=n,
+        mean=sum(data) / n,
+        median=median,
+        stdev=sample_stdev(data),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        boot_low=boot_low,
+        boot_high=boot_high,
+        minimum=data[0],
+        maximum=data[-1],
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedComparison:
+    """Design-vs-baseline comparison over seed-paired repetitions.
+
+    ``speedup`` is the geometric mean of the per-seed ratios
+    ``candidate_i / baseline_i``; its confidence interval is a t
+    interval on the log ratios, exponentiated back, which is the
+    standard treatment for ratio statistics.
+    """
+
+    n: int
+    speedup: float
+    ci_low: float
+    ci_high: float
+    cliffs_delta: float
+    cohens_d: float
+    ratios: Tuple[float, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["ratios"] = list(self.ratios)
+        return data
+
+
+def paired_speedup(candidate: Sequence[float], baseline: Sequence[float],
+                   confidence: float = DEFAULT_CONFIDENCE,
+                   ) -> PairedComparison:
+    """Compare seed-paired samples of a candidate against a baseline.
+
+    ``candidate[i]`` and ``baseline[i]`` must come from runs sharing the
+    i-th repetition seed (the campaign compiler guarantees this by
+    excluding the design factor from seed derivation).  Both metrics
+    must be positive -- ratios of IPC/EDP/energy always are; a zero
+    would be an upstream reporting bug.
+    """
+    if len(candidate) != len(baseline):
+        raise ValueError(
+            f"paired samples differ in length: "
+            f"{len(candidate)} vs {len(baseline)}"
+        )
+    if not candidate:
+        raise ValueError("paired_speedup needs at least one pair")
+    ratios = []
+    for c, b in zip(candidate, baseline):
+        if c <= 0 or b <= 0:
+            raise ValueError(
+                f"paired_speedup requires positive values, got {c}/{b}"
+            )
+        ratios.append(c / b)
+    log_low, log_high = t_interval([math.log(r) for r in ratios],
+                                   confidence)
+    return PairedComparison(
+        n=len(ratios),
+        speedup=geometric_mean(ratios),
+        ci_low=math.exp(log_low),
+        ci_high=math.exp(log_high),
+        cliffs_delta=cliffs_delta(candidate, baseline),
+        cohens_d=cohens_d(candidate, baseline),
+        ratios=tuple(ratios),
+    )

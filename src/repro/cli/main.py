@@ -58,6 +58,10 @@ def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
                         help="seed completed points from a prior run's "
                              "JSONL artifact; only missing/failed points "
                              "are recomputed")
+    parser.add_argument("--resume-strict", action="store_true",
+                        help="with --resume: skip artifact rows recorded "
+                             "by a different code fingerprint (default: "
+                             "accept them with a warning)")
     parser.add_argument("--trace", dest="trace_out", default=None,
                         metavar="PATH",
                         help="write a Perfetto JSON trace of the harness "
@@ -199,6 +203,83 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run every job with the repro.validate "
                             "invariant checker installed")
     _add_harness_arguments(sweep)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run, resume, and report declarative factor x level x "
+             "repetition studies with statistical reduction",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _campaign_exec_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (1 = serial)")
+        parser.add_argument("--cache-dir", default=None,
+                            help="result-cache root (default ~/.cache/"
+                                 "repro, or $REPRO_CACHE_DIR)")
+        parser.add_argument("--no-cache", action="store_true",
+                            help="compute every point fresh")
+        parser.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-job wall-clock budget")
+        parser.add_argument("--retries", type=int, default=0,
+                            help="extra attempts per failed job")
+        parser.add_argument("--retry-backoff", type=float, default=0.5,
+                            metavar="SECONDS",
+                            help="first retry delay, doubling per attempt")
+        parser.add_argument("--resume-strict", action="store_true",
+                            help="when resuming, skip artifact rows "
+                                 "recorded by a different code "
+                                 "fingerprint instead of warning")
+        parser.add_argument("--json", action="store_true",
+                            help="print the run summary as JSON")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a study spec end to end and write reports"
+    )
+    campaign_run.add_argument(
+        "study", nargs="?", default=None,
+        help="path to a .json/.toml campaign spec (optional with --smoke)"
+    )
+    campaign_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="campaign directory for the spec copy, the resumable "
+             "jobs.jsonl artifact and the reports "
+             "(default campaigns/<study name>)"
+    )
+    campaign_run.add_argument(
+        "--resume", action="store_true",
+        help="seed completed points from DIR/jobs.jsonl of an "
+             "interrupted run; only missing/failed points are recomputed"
+    )
+    campaign_run.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: run a tiny built-in study (or the given one) and "
+             "schema-validate the JSON report (exit non-zero on any "
+             "problem)"
+    )
+    _campaign_exec_arguments(campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign directory"
+    )
+    campaign_resume.add_argument(
+        "dir", help="campaign directory holding spec.json + jobs.jsonl"
+    )
+    _campaign_exec_arguments(campaign_resume)
+
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="recompute the statistical reports of a campaign directory "
+             "from its artifact, without re-running anything",
+    )
+    campaign_report.add_argument(
+        "dir", help="campaign directory holding spec.json + jobs.jsonl"
+    )
+    campaign_report.add_argument("--json", action="store_true",
+                                 help="print the JSON report to stdout "
+                                      "instead of the Markdown table")
 
     profile = sub.add_parser(
         "profile",
@@ -602,6 +683,34 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_resume(path: str, strict: bool):
+    """Load a resume map, reporting provenance of the seeded rows.
+
+    Rows recorded under a different code fingerprint are either skipped
+    (``strict``) or accepted with a warning -- results computed by a
+    different build of the simulator may not match what the current
+    code would produce.
+    """
+    try:
+        resume = load_resume_map(path, strict=strict)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot read resume artifact {path}: {exc}"
+        ) from None
+    print(f"resume: {len(resume)} completed points from {path}",
+          file=sys.stderr)
+    if resume.skipped:
+        print(f"resume: skipped {resume.skipped} rows from a different "
+              f"code fingerprint (--resume-strict)", file=sys.stderr)
+    elif resume.code_mismatches or resume.unknown_code:
+        suspect = resume.code_mismatches + resume.unknown_code
+        print(f"resume: warning: {suspect} rows were recorded by a "
+              f"different or unknown code fingerprint; pass "
+              f"--resume-strict to recompute them instead",
+              file=sys.stderr)
+    return resume
+
+
 def _build_harness(args: argparse.Namespace, name: str,
                    artifact_path: Optional[str],
                    total: Optional[int] = None) -> Harness:
@@ -621,14 +730,7 @@ def _build_harness(args: argparse.Namespace, name: str,
         raise SystemExit("--retry-backoff must be >= 0")
     resume = None
     if args.resume is not None:
-        try:
-            resume = load_resume_map(args.resume)
-        except OSError as exc:
-            raise SystemExit(
-                f"cannot read resume artifact {args.resume}: {exc}"
-            ) from None
-        print(f"resume: {len(resume)} completed points from {args.resume}",
-              file=sys.stderr)
+        resume = _load_resume(args.resume, args.resume_strict)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if artifact_path is None:
         artifact_path = default_artifact_path(
@@ -718,7 +820,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         _finish_harness(harness)
 
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        data = result.to_dict()
+        # Execution health rides along so campaign-style aggregation
+        # can tell a clean figure from one that limped through retries.
+        data["harness"] = harness.artifact.counters
+        print(json.dumps(data, indent=2))
     else:
         for index, table in enumerate(tables):
             if index:
@@ -760,6 +866,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     summary = {
         "jobs": len(outcomes),
         "errors": errors,
+        "timeouts": sum(1 for o in outcomes if o.status == "timeout"),
+        "worker_crashes": sum(1 for o in outcomes
+                              if o.status == "worker-crashed"),
+        "retries": sum(o.retries for o in outcomes),
+        "resumed": sum(1 for o in outcomes if o.cache_status == "resume"),
         "cache_hits": hits,
         "artifact": args.out,
     }
@@ -769,6 +880,250 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"{len(outcomes)} jobs ({errors} errors, {hits} cache hits) "
               f"-> {args.out}")
     return 1 if errors else 0
+
+
+#: Built-in study behind ``repro campaign run --smoke``: a 2-design x
+#: 2-workload grid, two repetitions, small traces -- big enough to
+#: exercise expansion, seed pairing, reduction and report writing, small
+#: enough for a CI gate.
+_SMOKE_STUDY = {
+    "name": "smoke",
+    "repetitions": 2,
+    "factors": {
+        "design": ["tagless", "no-l3"],
+        "workload": ["mcf", "lbm"],
+    },
+    "fixed": {"accesses": 2000, "cache_mb": 256, "scale": 512},
+    "metrics": ["ipc"],
+    "baseline": "no-l3",
+    "bootstrap_resamples": 200,
+}
+
+
+def _campaign_spec(args: argparse.Namespace):
+    """Load the study for ``campaign run`` (file, or the smoke built-in)."""
+    from repro.campaign import CampaignSpec
+
+    if args.study is not None:
+        try:
+            return CampaignSpec.from_file(args.study)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read study {args.study}: {exc}"
+            ) from None
+        except ConfigurationError as exc:
+            raise SystemExit(f"bad study {args.study}: {exc}") from None
+    if args.smoke:
+        return CampaignSpec.from_dict(_SMOKE_STUDY)
+    raise SystemExit("campaign run needs a study file (or --smoke); "
+                     "see `repro campaign run --help`")
+
+
+def _campaign_execute(spec, out_dir: str, args: argparse.Namespace,
+                      resume: bool) -> int:
+    """Shared body of ``campaign run`` and ``campaign resume``."""
+    import os
+
+    from repro.campaign import (
+        CampaignRun,
+        expand,
+        reduce_campaign,
+        validate_report,
+        write_reports,
+    )
+    from repro.harness.jobs import code_fingerprint
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    if args.retry_backoff < 0:
+        raise SystemExit("--retry-backoff must be >= 0")
+    try:
+        jobs = expand(spec)
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad study: {exc}") from None
+
+    os.makedirs(out_dir, exist_ok=True)
+    spec_path = os.path.join(out_dir, "spec.json")
+    artifact_path = os.path.join(out_dir, "jobs.jsonl")
+
+    resume_map = None
+    if resume:
+        if os.path.exists(spec_path):
+            from repro.campaign import CampaignSpec
+
+            try:
+                recorded = CampaignSpec.from_file(spec_path)
+            except (OSError, ConfigurationError) as exc:
+                raise SystemExit(
+                    f"cannot read recorded spec {spec_path}: {exc}"
+                ) from None
+            if recorded.spec_hash() != spec.spec_hash():
+                raise SystemExit(
+                    f"study changed since this campaign directory was "
+                    f"created (spec hash {recorded.spec_hash()} -> "
+                    f"{spec.spec_hash()}); use a fresh --out instead of "
+                    f"resuming"
+                )
+        if os.path.exists(artifact_path):
+            # Fully loaded before the artifact reopens for writing, so
+            # resuming over the same jobs.jsonl is safe.
+            resume_map = _load_resume(artifact_path, args.resume_strict)
+        else:
+            print(f"resume: no prior artifact at {artifact_path}; "
+                  f"running the full study", file=sys.stderr)
+
+    with open(spec_path, "w") as handle:
+        json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    artifact = RunArtifact(
+        artifact_path, name=f"campaign-{spec.name}",
+        meta={"campaign": spec.name, "spec_hash": spec.spec_hash(),
+              "argv": sys.argv[1:]},
+    )
+    progress = ProgressReporter(total=len(jobs),
+                                label=f"campaign:{spec.name}")
+    harness = Harness(jobs=args.jobs, cache=cache, progress=progress,
+                      artifact=artifact, timeout_s=args.timeout,
+                      retries=args.retries,
+                      retry_backoff_s=args.retry_backoff,
+                      resume=resume_map)
+    print(f"campaign {spec.name}: {len(jobs)} points "
+          f"({len(spec.cells())} cells x {spec.repetitions} repetitions) "
+          f"-> {out_dir}", file=sys.stderr)
+    try:
+        outcomes = harness.run([job.spec for job in jobs])
+    except KeyboardInterrupt:
+        artifact.close(cache.stats if cache else None)
+        print(f"\ninterrupted; completed points are in {artifact_path} -- "
+              f"finish with `repro campaign resume {out_dir}`",
+              file=sys.stderr)
+        return 130
+    finally:
+        artifact.close(cache.stats if cache else None)
+        progress.summary(cache.stats if cache else None)
+
+    run = CampaignRun(campaign=spec, jobs=jobs, outcomes=outcomes)
+    report = reduce_campaign(spec, run.cell_results())
+    paths = write_reports(report, out_dir)
+    counters = run.counters()
+    summary = {
+        "campaign": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "code": code_fingerprint(),
+        "out_dir": out_dir,
+        "cells": len(spec.cells()),
+        "repetitions": spec.repetitions,
+        "missing_points": report.missing_points,
+        **counters,
+        "reports": paths,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"campaign {spec.name}: {counters['jobs']} points -- "
+              f"{counters['computed']} computed, "
+              f"{counters['cache_hits']} cache hits, "
+              f"{counters['resumed']} resumed, "
+              f"{counters['errors']} errors "
+              f"({counters['timeouts']} timeouts, "
+              f"{counters['worker_crashes']} crashes, "
+              f"{counters['retries']} retries)")
+        for kind, path in paths.items():
+            print(f"{kind:10s} {path}")
+
+    if getattr(args, "smoke", False):
+        with open(paths["json"]) as handle:
+            data = json.load(handle)
+        problems = validate_report(data)
+        if report.missing_points:
+            problems.append(
+                f"{report.missing_points} points missing from the study"
+            )
+        for cell in data.get("cells", []):
+            if cell.get("n") != spec.repetitions:
+                problems.append(f"cell {cell.get('label')}: n={cell.get('n')}"
+                                f" != repetitions={spec.repetitions}")
+        if not data.get("pairs"):
+            problems.append("no paired comparisons in the smoke report")
+        if problems:
+            print("campaign smoke: FAIL")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("campaign smoke: PASS")
+        return 0
+    return 1 if counters["errors"] else 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from repro.campaign import CampaignSpec
+
+    if args.campaign_command == "run":
+        spec = _campaign_spec(args)
+        if args.out is not None:
+            out_dir = args.out
+        elif args.smoke:
+            # The smoke gate is a pass/fail check; don't litter the
+            # working tree with its campaign directory.
+            with tempfile.TemporaryDirectory(prefix="repro-campaign-") \
+                    as tmp:
+                return _campaign_execute(spec, tmp, args,
+                                         resume=args.resume)
+        else:
+            out_dir = os.path.join("campaigns", spec.name)
+        return _campaign_execute(spec, out_dir, args, resume=args.resume)
+
+    spec_path = os.path.join(args.dir, "spec.json")
+    try:
+        spec = CampaignSpec.from_file(spec_path)
+    except OSError as exc:
+        raise SystemExit(
+            f"{args.dir} is not a campaign directory "
+            f"(cannot read {spec_path}: {exc})"
+        ) from None
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad recorded spec {spec_path}: {exc}") from None
+
+    if args.campaign_command == "resume":
+        return _campaign_execute(spec, args.dir, args, resume=True)
+
+    # campaign report: reduce the artifact without re-running anything.
+    from repro.campaign import (
+        reduce_campaign,
+        render_markdown,
+        results_from_artifact,
+        write_reports,
+    )
+
+    artifact_path = os.path.join(args.dir, "jobs.jsonl")
+    try:
+        _jobs, results = results_from_artifact(spec, artifact_path)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot read artifact {artifact_path}: {exc}"
+        ) from None
+    report = reduce_campaign(spec, results)
+    paths = write_reports(report, args.dir)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_markdown(report), end="")
+    if report.missing_points:
+        print(f"warning: {report.missing_points} points missing; "
+              f"`repro campaign resume {args.dir}` completes them",
+              file=sys.stderr)
+    for kind, path in paths.items():
+        print(f"{kind}: {path}", file=sys.stderr)
+    return 0
 
 
 def _short_location(filename: str, line: int) -> str:
@@ -976,6 +1331,7 @@ _COMMANDS = {
     "run": cmd_run,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "campaign": cmd_campaign,
     "profile": cmd_profile,
     "report": cmd_report,
     "validate": cmd_validate,

@@ -17,6 +17,7 @@ Typical use::
 """
 
 from repro.harness.artifacts import (
+    ResumeMap,
     RunArtifact,
     default_artifact_path,
     job_metrics,
@@ -58,6 +59,7 @@ __all__ = [
     "JobSpec",
     "ProgressReporter",
     "ResultCache",
+    "ResumeMap",
     "RunArtifact",
     "SCHEMA_VERSION",
     "TIMEOUT_ENV",

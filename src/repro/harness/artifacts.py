@@ -18,7 +18,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.harness.cache import CacheStats, simulation_result_to_dict
-from repro.harness.jobs import JobResult
+from repro.harness.jobs import JobResult, code_fingerprint
 from repro.cpu.simulator import SimulationResult
 
 
@@ -75,6 +75,10 @@ class RunArtifact:
             "record": "header",
             "run": name,
             "created": datetime.datetime.now().isoformat(timespec="seconds"),
+            # Provenance: which build of the simulator produced the rows
+            # below.  Resume reads it back to refuse (or warn about)
+            # seeding results across code versions.
+            "code": code_fingerprint(),
             "meta": meta or {},
         })
 
@@ -92,6 +96,9 @@ class RunArtifact:
             "record": "job",
             "key": outcome.spec.cache_key(),
             "spec": outcome.spec.to_dict(),
+            # Per-row provenance, not just header-level: an artifact
+            # chained through resumes can mix rows from several builds.
+            "code": code_fingerprint(),
             "cache": outcome.cache_status,
             "cache_hit": outcome.cache_status == "hit",
             "wall_time_s": outcome.wall_time_s,
@@ -118,6 +125,25 @@ class RunArtifact:
         for outcome in outcomes:
             self.record(outcome)
 
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Execution-health counters accumulated so far (a live view).
+
+        The same numbers the summary record carries; exposed so the
+        ``--json`` summaries of ``repro sweep``/``experiment`` (and the
+        campaign run summary) can surface retry/timeout/crash counts
+        without re-reading the artifact.
+        """
+        return {
+            "jobs": self._jobs,
+            "errors": self._errors,
+            "timeouts": self._timeouts,
+            "worker_crashes": self._crashes,
+            "retries": self._retries,
+            "resumed": self._resumed,
+            "cache_hits": self._hits,
+        }
+
     def close(self, cache_stats: Optional[CacheStats] = None) -> None:
         """Append the summary record and close the file (idempotent)."""
         if self._closed:
@@ -126,13 +152,7 @@ class RunArtifact:
         summary: Dict[str, object] = {
             "record": "summary",
             "run": self.name,
-            "jobs": self._jobs,
-            "errors": self._errors,
-            "timeouts": self._timeouts,
-            "worker_crashes": self._crashes,
-            "retries": self._retries,
-            "resumed": self._resumed,
-            "cache_hits": self._hits,
+            **self.counters,
             "cache_hit_rate": self._hits / self._jobs if self._jobs else 0.0,
             "job_wall_time_s": self._job_wall_s,
             "elapsed_s": time.perf_counter() - self._started,
@@ -165,7 +185,27 @@ def read_artifact(path: str) -> List[Dict[str, object]]:
     return records
 
 
-def load_resume_map(path: str) -> Dict[str, Dict[str, object]]:
+class ResumeMap(Dict[str, Dict[str, object]]):
+    """``cache_key -> job record`` map plus provenance accounting.
+
+    A plain dict to :func:`repro.harness.runner.run_jobs`; the extra
+    attributes let the CLI report how trustworthy the seeds are:
+
+    - ``code_mismatches``: usable rows recorded under a *different*
+      code fingerprint than the current build's;
+    - ``unknown_code``: rows from artifacts predating per-row
+      provenance (no ``code`` field);
+    - ``skipped``: rows dropped because ``strict`` resume refused them.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.code_mismatches = 0
+        self.unknown_code = 0
+        self.skipped = 0
+
+
+def load_resume_map(path: str, strict: bool = False) -> ResumeMap:
     """Index a prior artifact's completed job records by cache key.
 
     Only ``status=="ok"`` rows that embed a full result payload are
@@ -176,8 +216,16 @@ def load_resume_map(path: str) -> Dict[str, Dict[str, object]]:
     run chains correctly.  A torn trailing line (the sweep died
     mid-write) is skipped rather than fatal: everything before it is
     still a valid resume seed.
+
+    Rows whose recorded ``code`` fingerprint differs from the current
+    build's are counted in ``code_mismatches`` (callers should warn:
+    those results were computed by different simulator code).  With
+    ``strict=True`` such rows -- and rows with no recorded fingerprint
+    at all -- are skipped instead, so a ``--resume-strict`` run only
+    ever seeds provenance-verified results.
     """
-    seeds: Dict[str, Dict[str, object]] = {}
+    current = code_fingerprint()
+    seeds = ResumeMap()
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -187,17 +235,30 @@ def load_resume_map(path: str) -> Dict[str, Dict[str, object]]:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if (record.get("record") == "job"
+            if not (record.get("record") == "job"
                     and record.get("status") == "ok"
                     and isinstance(record.get("result"), dict)
                     and isinstance(record.get("key"), str)):
-                seeds[record["key"]] = record
+                continue
+            code = record.get("code")
+            if code is None:
+                seeds.unknown_code += 1
+                if strict:
+                    seeds.skipped += 1
+                    continue
+            elif code != current:
+                seeds.code_mismatches += 1
+                if strict:
+                    seeds.skipped += 1
+                    continue
+            seeds[record["key"]] = record
     return seeds
 
 
 # Re-exported so artifact consumers can round-trip full results without
 # importing the cache module.
 __all__ = [
+    "ResumeMap",
     "RunArtifact",
     "default_artifact_path",
     "job_metrics",

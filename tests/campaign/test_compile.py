@@ -1,0 +1,152 @@
+"""Campaign expansion and execution through the harness."""
+
+import pytest
+
+from repro.campaign.compile import (
+    CampaignRun,
+    expand,
+    results_from_artifact,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.common.errors import ConfigurationError
+from repro.harness.artifacts import RunArtifact
+from repro.harness.runner import Harness
+
+STUDY = {
+    "name": "unit",
+    "repetitions": 2,
+    "factors": {
+        "design": ["tagless", "no-l3"],
+        "workload": ["mcf"],
+    },
+    "fixed": {"accesses": 1500, "cache_mb": 256, "scale": 512},
+    "metrics": ["ipc"],
+    "baseline": "no-l3",
+}
+
+
+def study(**overrides) -> CampaignSpec:
+    data = dict(STUDY)
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+class TestExpand:
+    def test_grid_times_repetitions(self):
+        jobs = expand(study())
+        assert len(jobs) == 4  # 2 designs x 1 workload x 2 reps
+        assert [j.repetition for j in jobs] == [0, 1, 0, 1]
+
+    def test_field_mapping(self):
+        job = expand(study())[0]
+        assert job.spec.design == "tagless"
+        assert job.spec.workload == "mcf"
+        assert job.spec.accesses == 1500
+        assert job.spec.cache_megabytes == 256
+        assert job.spec.capacity_scale == 512
+        assert job.spec.base_seed == job.seed
+
+    def test_designs_pair_seeds(self):
+        jobs = expand(study())
+        tagless = [j for j in jobs if j.spec.design == "tagless"]
+        nol3 = [j for j in jobs if j.spec.design == "no-l3"]
+        assert [j.seed for j in tagless] == [j.seed for j in nol3]
+        # ...but distinct cache keys: the design differs.
+        assert (tagless[0].spec.cache_key() != nol3[0].spec.cache_key())
+
+    def test_repetitions_get_distinct_cache_keys(self):
+        jobs = expand(study())
+        assert jobs[0].spec.cache_key() != jobs[1].spec.cache_key()
+
+    def test_core_count_inference(self):
+        mix = study(factors={"design": ["tagless"], "workload": ["MIX1"]},
+                    baseline=None)
+        assert expand(mix)[0].spec.num_cores == 4
+        single = study()
+        assert expand(single)[0].spec.num_cores == 1
+
+    def test_requires_design(self):
+        with pytest.raises(ConfigurationError, match="'design'"):
+            expand(study(factors={"workload": ["mcf"]}, baseline=None))
+
+    def test_requires_workload(self):
+        with pytest.raises(ConfigurationError, match="'workload'"):
+            expand(study(factors={"design": ["tagless"]}, baseline=None))
+
+    def test_rejects_unknown_design(self):
+        bad = study(factors={"design": ["tagless", "hal9000"],
+                             "workload": ["mcf"]}, baseline=None)
+        with pytest.raises(ConfigurationError, match="hal9000"):
+            expand(bad)
+
+
+class TestRunCampaign:
+    def test_collects_all_cells(self):
+        spec = study()
+        run = run_campaign(spec, Harness())
+        assert all(outcome.ok for outcome in run.outcomes)
+        results = run.cell_results()
+        assert set(results) == {0, 1}
+        for reps in results.values():
+            assert set(reps) == {0, 1}
+            for metrics in reps.values():
+                assert metrics["ipc"] > 0
+
+    def test_repetitions_vary_metrics(self):
+        run = run_campaign(study(), Harness())
+        results = run.cell_results()
+        assert results[0][0]["ipc"] != results[0][1]["ipc"]
+
+    def test_counters_shape(self):
+        run = run_campaign(study(), Harness())
+        counters = run.counters()
+        assert counters["jobs"] == 4
+        assert counters["computed"] == 4
+        assert counters["errors"] == 0
+        assert counters["resumed"] == 0
+
+    def test_failed_points_shrink_cells(self):
+        spec = study(factors={"design": ["tagless"], "workload": ["mcf"]},
+                     baseline=None)
+        run = run_campaign(spec, Harness())
+        # Fake one failed repetition.
+        run.outcomes[1].error = "boom"
+        run.outcomes[1].status = "error"
+        results = run.cell_results()
+        assert set(results[0]) == {0}
+        assert run.counters()["errors"] == 1
+
+
+class TestResultsFromArtifact:
+    def test_round_trip(self, tmp_path):
+        spec = study()
+        path = str(tmp_path / "jobs.jsonl")
+        artifact = RunArtifact(path, name="campaign-unit")
+        run = run_campaign(spec, Harness(artifact=artifact))
+        artifact.close()
+        _jobs, replayed = results_from_artifact(spec, path)
+        assert replayed == run.cell_results()
+
+    def test_ignores_foreign_rows(self, tmp_path):
+        spec = study()
+        path = str(tmp_path / "jobs.jsonl")
+        artifact = RunArtifact(path, name="campaign-unit")
+        run_campaign(spec, Harness(artifact=artifact))
+        artifact.close()
+        # A spec with different fixed settings matches nothing.
+        other = study(fixed={"accesses": 999, "cache_mb": 256,
+                             "scale": 512})
+        _jobs, replayed = results_from_artifact(other, path)
+        assert replayed == {}
+
+    def test_tolerates_torn_trailing_line(self, tmp_path):
+        spec = study()
+        path = str(tmp_path / "jobs.jsonl")
+        artifact = RunArtifact(path, name="campaign-unit")
+        run = run_campaign(spec, Harness(artifact=artifact))
+        artifact.close()
+        with open(path, "a") as handle:
+            handle.write('{"record": "job", "status": "ok"')  # torn
+        _jobs, replayed = results_from_artifact(spec, path)
+        assert replayed == run.cell_results()

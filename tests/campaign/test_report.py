@@ -1,0 +1,174 @@
+"""Reduction, rendering, and schema validation of study reports."""
+
+import json
+
+from repro.campaign.report import (
+    reduce_campaign,
+    render_cells_csv,
+    render_markdown,
+    render_pairs_csv,
+    validate_report,
+    write_reports,
+)
+from repro.campaign.spec import CampaignSpec
+
+STUDY = {
+    "name": "unit",
+    "repetitions": 3,
+    "factors": {
+        "design": ["tagless", "no-l3"],
+        "workload": ["mcf"],
+    },
+    "fixed": {"accesses": 1500, "cache_mb": 256, "scale": 512},
+    "metrics": ["ipc"],
+    "baseline": "no-l3",
+    "bootstrap_resamples": 200,
+}
+
+
+def study(**overrides) -> CampaignSpec:
+    data = json.loads(json.dumps(STUDY))
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+def synthetic_results():
+    """Cell 0 (tagless) consistently 2x cell 1 (no-l3)."""
+    return {
+        0: {0: {"ipc": 2.0}, 1: {"ipc": 2.2}, 2: {"ipc": 1.8}},
+        1: {0: {"ipc": 1.0}, 1: {"ipc": 1.1}, 2: {"ipc": 0.9}},
+    }
+
+
+class TestReduce:
+    def test_cell_reports_complete(self):
+        report = reduce_campaign(study(), synthetic_results())
+        assert len(report.cells) == 2
+        assert report.missing_points == 0
+        for cell_report in report.cells:
+            assert cell_report.completed == 3
+            assert dict(cell_report.metrics)["ipc"].n == 3
+        assert dict(report.cells[0].metrics)["ipc"].mean == 2.0
+
+    def test_paired_speedup_vs_baseline(self):
+        report = reduce_campaign(study(), synthetic_results())
+        assert len(report.pairs) == 1
+        pair = report.pairs[0]
+        assert pair.design == "tagless"
+        assert pair.baseline == "no-l3"
+        assert pair.metric == "ipc"
+        assert pair.comparison.n == 3
+        assert 1.9 < pair.comparison.speedup < 2.1
+        assert pair.comparison.ci_low <= pair.comparison.speedup
+        assert pair.comparison.speedup <= pair.comparison.ci_high
+
+    def test_missing_repetition_counts_and_pairs_shrink(self):
+        results = synthetic_results()
+        del results[0][1]  # tagless lost repetition 1
+        report = reduce_campaign(study(), results)
+        assert report.missing_points == 1
+        assert report.cells[0].completed == 2
+        # The pair only uses repetitions where both designs completed.
+        assert report.pairs[0].comparison.n == 2
+
+    def test_empty_cell_has_no_metrics(self):
+        results = synthetic_results()
+        del results[1]
+        report = reduce_campaign(study(), results)
+        assert report.missing_points == 3
+        assert report.cells[1].completed == 0
+        assert report.cells[1].metrics == ()
+        assert report.pairs == ()  # baseline cell absent -> no pairs
+
+    def test_no_baseline_means_no_pairs(self):
+        report = reduce_campaign(
+            study(baseline=None,
+                  factors={"design": ["tagless"], "workload": ["mcf"]}),
+            {0: {0: {"ipc": 1.0}, 1: {"ipc": 1.1}, 2: {"ipc": 0.9}}},
+        )
+        assert report.pairs == ()
+
+    def test_reduction_is_deterministic(self):
+        a = reduce_campaign(study(), synthetic_results())
+        b = reduce_campaign(study(), synthetic_results())
+        assert a.to_dict() == b.to_dict()
+
+    def test_campaign_seed_changes_bootstrap_seed(self):
+        from repro.campaign.report import _bootstrap_seed
+
+        cell = study().cells()[0]
+        assert (_bootstrap_seed(study(seed=1), cell, "ipc")
+                != _bootstrap_seed(study(seed=2), cell, "ipc"))
+        assert (_bootstrap_seed(study(seed=1), cell, "ipc")
+                != _bootstrap_seed(study(seed=1), cell, "edp_js"))
+
+
+class TestRendering:
+    def test_markdown_mentions_cells_and_pairs(self):
+        text = render_markdown(reduce_campaign(study(), synthetic_results()))
+        assert "# Campaign report: unit" in text
+        assert "| tagless | mcf | ipc | 3 |" in text
+        assert "Paired speedups vs `no-l3`" in text
+
+    def test_markdown_flags_missing_points(self):
+        results = synthetic_results()
+        del results[0][2]
+        text = render_markdown(reduce_campaign(study(), results))
+        assert "missing points: 1" in text
+
+    def test_csv_row_counts(self):
+        report = reduce_campaign(study(), synthetic_results())
+        cells = render_cells_csv(report).strip().splitlines()
+        pairs = render_pairs_csv(report).strip().splitlines()
+        assert len(cells) == 1 + 2   # header + one metric row per cell
+        assert len(pairs) == 1 + 1
+
+    def test_write_reports_and_validate(self, tmp_path):
+        report = reduce_campaign(study(), synthetic_results())
+        paths = write_reports(report, str(tmp_path / "out"))
+        assert set(paths) == {"markdown", "json", "cells_csv", "pairs_csv"}
+        with open(paths["json"]) as handle:
+            data = json.load(handle)
+        assert validate_report(data) == []
+        assert data["spec_hash"] == study().spec_hash()
+
+    def test_written_reports_are_bit_identical(self, tmp_path):
+        report = reduce_campaign(study(), synthetic_results())
+        paths_a = write_reports(report, str(tmp_path / "a"))
+        paths_b = write_reports(report, str(tmp_path / "b"))
+        for key in paths_a:
+            with open(paths_a[key]) as fa, open(paths_b[key]) as fb:
+                assert fa.read() == fb.read()
+
+
+class TestValidateReport:
+    def good(self):
+        return reduce_campaign(study(), synthetic_results()).to_dict()
+
+    def test_good_report_passes(self):
+        assert validate_report(self.good()) == []
+
+    def test_flags_wrong_schema(self):
+        data = self.good()
+        data["schema"] = 99
+        assert any("schema" in p for p in validate_report(data))
+
+    def test_flags_empty_cells(self):
+        data = self.good()
+        data["cells"] = []
+        assert any("cells" in p for p in validate_report(data))
+
+    def test_flags_missing_summary_key(self):
+        data = self.good()
+        del data["cells"][0]["metrics"]["ipc"]["mean"]
+        assert any("missing mean" in p for p in validate_report(data))
+
+    def test_flags_interval_not_bracketing(self):
+        data = self.good()
+        data["cells"][0]["metrics"]["ipc"]["mean"] = 1e9
+        assert any("bracket" in p for p in validate_report(data))
+
+    def test_flags_bad_cliffs_delta(self):
+        data = self.good()
+        data["pairs"][0]["cliffs_delta"] = 2.0
+        assert any("cliffs_delta" in p for p in validate_report(data))

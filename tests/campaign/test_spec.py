@@ -1,0 +1,163 @@
+"""Campaign spec loading, validation, hashing, and seed policy."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.common import rng
+from repro.common.errors import ConfigurationError
+
+STUDY = {
+    "name": "unit",
+    "repetitions": 3,
+    "factors": {
+        "design": ["tagless", "sram"],
+        "workload": ["mcf", "lbm"],
+    },
+    "fixed": {"accesses": 2000, "cache_mb": 256},
+    "metrics": ["ipc"],
+    "baseline": "sram",
+}
+
+
+def spec(**overrides) -> CampaignSpec:
+    data = json.loads(json.dumps(STUDY))
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+class TestValidation:
+    def test_round_trip(self):
+        s = spec()
+        assert CampaignSpec.from_dict(s.to_dict()) == s
+
+    def test_unknown_factor(self):
+        with pytest.raises(ConfigurationError, match="unknown factor"):
+            spec(factors={"design": ["tagless"], "voltage": [1, 2]})
+
+    def test_duplicate_levels(self):
+        with pytest.raises(ConfigurationError, match="duplicate levels"):
+            spec(factors={"design": ["tagless", "tagless"]})
+
+    def test_factor_fixed_overlap(self):
+        with pytest.raises(ConfigurationError, match="both factors"):
+            spec(fixed={"design": "sram"})
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            spec(metrics=["frobnication"])
+
+    def test_baseline_must_be_design_level(self):
+        with pytest.raises(ConfigurationError, match="baseline"):
+            spec(baseline="alloy")
+
+    def test_repetitions_lower_bound(self):
+        with pytest.raises(ConfigurationError, match="repetitions"):
+            spec(repetitions=0)
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ConfigurationError, match="unknown campaign"):
+            CampaignSpec.from_dict(dict(STUDY, surprise=1))
+
+    def test_default_baseline_is_first_design(self):
+        assert spec(baseline=None).effective_baseline == "tagless"
+
+    def test_no_baseline_without_multiple_designs(self):
+        s = spec(baseline=None,
+                 factors={"design": ["tagless"], "workload": ["mcf"]})
+        assert s.effective_baseline is None
+
+
+class TestCells:
+    def test_grid_size_and_order(self):
+        cells = spec().cells()
+        assert len(cells) == 4
+        # Rightmost factor varies fastest, like itertools.product.
+        assert [c.label for c in cells] == [
+            "design=tagless workload=mcf",
+            "design=tagless workload=lbm",
+            "design=sram workload=mcf",
+            "design=sram workload=lbm",
+        ]
+
+
+class TestSeedPolicy:
+    def test_designs_share_seeds(self):
+        """Cells differing only in design pair their repetition seeds."""
+        s = spec()
+        cells = s.cells()
+        tagless_mcf = cells[0]
+        sram_mcf = cells[2]
+        for rep in range(s.repetitions):
+            assert (s.repetition_seed(tagless_mcf, rep)
+                    == s.repetition_seed(sram_mcf, rep))
+
+    def test_repetitions_differ(self):
+        s = spec()
+        cell = s.cells()[0]
+        seeds = {s.repetition_seed(cell, rep) for rep in range(10)}
+        assert len(seeds) == 10
+
+    def test_workloads_differ(self):
+        s = spec()
+        cells = s.cells()
+        assert (s.repetition_seed(cells[0], 0)
+                != s.repetition_seed(cells[1], 0))
+
+    def test_campaign_seed_rerolls(self):
+        cell_a = spec(seed=1).cells()[0]
+        cell_b = spec(seed=2).cells()[0]
+        assert (spec(seed=1).repetition_seed(cell_a, 0)
+                != spec(seed=2).repetition_seed(cell_b, 0))
+
+    def test_default_seed_is_library_base(self):
+        assert spec(seed=None).campaign_seed == rng.BASE_SEED
+
+    def test_factor_order_does_not_reroll(self):
+        """Reordering factors in the study file keeps every seed."""
+        a = spec()
+        b = spec(factors={
+            "workload": ["mcf", "lbm"],
+            "design": ["tagless", "sram"],
+        })
+        cell_a = a.cells()[0]   # design=tagless workload=mcf
+        cell_b = b.cells()[0]   # workload=mcf design=tagless
+        assert a.repetition_seed(cell_a, 1) == b.repetition_seed(cell_b, 1)
+
+
+class TestHashingAndFiles:
+    def test_hash_stable(self):
+        assert spec().spec_hash() == spec().spec_hash()
+
+    def test_hash_sensitive_to_content(self):
+        assert spec().spec_hash() != spec(repetitions=4).spec_hash()
+        assert spec().spec_hash() != spec(seed=9).spec_hash()
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(STUDY))
+        assert CampaignSpec.from_file(str(path)) == spec()
+
+    def test_from_toml_file(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")  # noqa: F841 - py3.11+
+        path = tmp_path / "study.toml"
+        path.write_text(
+            'name = "unit"\n'
+            'repetitions = 3\n'
+            'metrics = ["ipc"]\n'
+            'baseline = "sram"\n'
+            '[factors]\n'
+            'design = ["tagless", "sram"]\n'
+            'workload = ["mcf", "lbm"]\n'
+            '[fixed]\n'
+            'accesses = 2000\n'
+            'cache_mb = 256\n'
+        )
+        assert CampaignSpec.from_file(str(path)) == spec()
+
+    def test_bad_json_reports_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            CampaignSpec.from_file(str(path))

@@ -1,0 +1,150 @@
+"""Unit tests for the campaign statistics layer."""
+
+import math
+
+import pytest
+
+from repro.campaign.stats import (
+    bootstrap_interval,
+    cliffs_delta,
+    cohens_d,
+    paired_speedup,
+    sample_stdev,
+    summarize,
+    t_interval,
+    t_ppf,
+)
+
+
+class TestTPpf:
+    #: Two-sided 95% critical values from standard t tables.
+    KNOWN = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+             10: 2.228, 30: 2.042, 100: 1.984}
+
+    @pytest.mark.parametrize("df,expected", sorted(KNOWN.items()))
+    def test_matches_tables_at_975(self, df, expected):
+        assert t_ppf(0.975, df) == pytest.approx(expected, abs=5e-3)
+
+    def test_symmetry(self):
+        assert t_ppf(0.025, 7) == pytest.approx(-t_ppf(0.975, 7))
+
+    def test_median_is_zero(self):
+        assert t_ppf(0.5, 9) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            t_ppf(0.0, 5)
+        with pytest.raises(ValueError):
+            t_ppf(1.0, 5)
+        with pytest.raises(ValueError):
+            t_ppf(0.9, 0)
+
+
+class TestTInterval:
+    def test_brackets_the_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = t_interval(values)
+        assert low < 3.0 < high
+        # Hand-checked: 3 +/- 2.776 * stdev/sqrt(5).
+        half = 2.776 * sample_stdev(values) / math.sqrt(5)
+        assert low == pytest.approx(3.0 - half, rel=1e-3)
+        assert high == pytest.approx(3.0 + half, rel=1e-3)
+
+    def test_single_sample_collapses(self):
+        assert t_interval([7.5]) == (7.5, 7.5)
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 4.0, 8.0]
+        low95, high95 = t_interval(values, 0.95)
+        low99, high99 = t_interval(values, 0.99)
+        assert low99 < low95 and high99 > high95
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            t_interval([])
+
+
+class TestBootstrap:
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert (bootstrap_interval(values, seed=42)
+                == bootstrap_interval(values, seed=42))
+
+    def test_seed_changes_interval(self):
+        # Irregular values so resample-mean quantiles are effectively
+        # continuous; integer grids can collide across seeds.
+        values = [1.37, 2.91, 0.44, 3.58, 2.06,
+                  1.73, 4.42, 0.98, 3.11, 2.64]
+        assert (bootstrap_interval(values, seed=1)
+                != bootstrap_interval(values, seed=2))
+
+    def test_brackets_the_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = bootstrap_interval(values, seed=0)
+        assert low <= 3.0 <= high
+
+    def test_single_sample_collapses(self):
+        assert bootstrap_interval([2.0], seed=0) == (2.0, 2.0)
+
+
+class TestEffectSizes:
+    def test_cohens_d_known_value(self):
+        # Means 2 apart, both samples with stdev 1 -> d = 2.
+        a = [9.0, 10.0, 11.0]
+        b = [7.0, 8.0, 9.0]
+        assert cohens_d(a, b) == pytest.approx(2.0)
+
+    def test_cohens_d_zero_variance(self):
+        assert cohens_d([3.0, 3.0], [3.0, 3.0]) == 0.0
+
+    def test_cliffs_delta_disjoint(self):
+        assert cliffs_delta([5.0, 6.0], [1.0, 2.0]) == 1.0
+        assert cliffs_delta([1.0, 2.0], [5.0, 6.0]) == -1.0
+
+    def test_cliffs_delta_identical(self):
+        assert cliffs_delta([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cohens_d([], [1.0])
+        with pytest.raises(ValueError):
+            cliffs_delta([1.0], [])
+
+
+class TestPairedSpeedup:
+    def test_geomean_of_ratios(self):
+        comparison = paired_speedup([2.0, 8.0], [1.0, 2.0])
+        assert comparison.ratios == (2.0, 4.0)
+        assert comparison.speedup == pytest.approx(math.sqrt(8.0))
+
+    def test_interval_brackets_geomean(self):
+        comparison = paired_speedup([1.1, 1.2, 1.3, 1.15],
+                                    [1.0, 1.0, 1.0, 1.0])
+        assert comparison.ci_low <= comparison.speedup <= comparison.ci_high
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            paired_speedup([1.0, 2.0], [1.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            paired_speedup([1.0, 0.0], [1.0, 1.0])
+
+
+class TestSummarize:
+    def test_odd_and_even_medians(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+        assert summarize([4.0, 1.0, 2.0, 3.0]).median == 2.5
+
+    def test_fields_consistent(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0], seed=7)
+        assert summary.n == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.boot_low <= summary.boot_high
+
+    def test_deterministic(self):
+        values = [1.4, 2.2, 0.9, 3.3]
+        assert summarize(values, seed=5) == summarize(values, seed=5)

@@ -1,6 +1,6 @@
 """Deterministic seeding behaviour."""
 
-from repro.common.rng import generator_for, seed_for
+from repro.common.rng import BASE_SEED, derive_seed, generator_for, seed_for
 
 
 def test_seed_stable_across_calls():
@@ -17,6 +17,31 @@ def test_seed_differs_by_any_component():
 def test_seed_is_63_bit_nonnegative():
     s = seed_for("anything")
     assert 0 <= s < 2**63
+
+
+def test_derive_seed_stable():
+    assert derive_seed(7, "cell", 3) == derive_seed(7, "cell", 3)
+
+
+def test_derive_seed_sensitive_to_base():
+    assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+def test_derive_seed_components_are_positional():
+    # NUL-joined components: ("ab", "c") must not collide with ("a", "bc").
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+def test_derive_seed_range():
+    assert 0 <= derive_seed(0) < 2**63
+    assert 0 <= derive_seed(2**63 - 1, "x", 1, 2.5) < 2**63
+
+
+def test_seed_for_is_derive_seed_from_base():
+    """seed_for is the BASE_SEED specialisation -- the golden stats in
+    EXPERIMENTS.md depend on this equivalence staying put."""
+    assert seed_for("spec", "mcf", 0) == derive_seed(BASE_SEED, "spec",
+                                                     "mcf", 0)
 
 
 def test_generators_reproduce_streams():

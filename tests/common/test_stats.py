@@ -176,6 +176,33 @@ class TestHistogram:
             Histogram("lat").percentile(0.0)
         with pytest.raises(ValueError):
             Histogram("lat").percentile(1.5)
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(-0.1)
+
+    def test_percentile_empty_is_zero(self):
+        h = Histogram("lat")
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 0.0
+
+    def test_percentile_fraction_one_is_top_occupied_bucket(self):
+        h = Histogram("lat")
+        h.observe(1.0)    # bucket 1
+        h.observe(600.0)  # bucket 10
+        assert h.percentile(1.0) == 2.0 ** 10
+
+    def test_percentile_single_occupied_bucket(self):
+        # Every fraction lands in the one occupied bucket.
+        h = Histogram("lat")
+        for _ in range(5):
+            h.observe(5.0)  # bucket 3: [4, 8)
+        for fraction in (1e-9, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(fraction) == 8.0
+
+    def test_percentile_tiny_fraction_hits_first_occupied_bucket(self):
+        h = Histogram("lat")
+        h.observe(0.0)
+        h.observe(1000.0)
+        assert h.percentile(1e-9) == 1.0  # 2^0: the below-1 bucket
 
     def test_merge(self):
         a, b = Histogram("lat"), Histogram("lat")
@@ -232,6 +259,27 @@ class TestHistogram:
         assert sum(h.buckets) == len(values)
         assert h.min == min(values)
         assert h.max == max(values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e12), min_size=1,
+                    max_size=30),
+           st.lists(st.floats(min_value=0.0, max_value=1e12), min_size=0,
+                    max_size=30),
+           st.floats(min_value=0.001, max_value=1.0))
+    def test_merge_then_percentile_matches_single_pass(self, left, right,
+                                                       fraction):
+        """Merging histograms then taking a percentile must equal
+        observing the concatenated stream into one histogram."""
+        a, b, combined = (Histogram("lat"), Histogram("lat"),
+                          Histogram("lat"))
+        for value in left:
+            a.observe(value)
+            combined.observe(value)
+        for value in right:
+            b.observe(value)
+            combined.observe(value)
+        a.merge(b)
+        assert a.buckets == combined.buckets
+        assert a.percentile(fraction) == combined.percentile(fraction)
 
 
 class TestGeometricMean:

@@ -1,0 +1,134 @@
+"""Batched-engine speedup guard: the fused kernels must stay fast.
+
+The batched engine exists to be faster than the scalar loop while
+staying bit-identical to it (the golden oracle locks identity; this
+guard locks *speed*).  For each design it measures best-of-``--repeat``
+throughput under both engines on one workload and fails if the batched
+/ scalar ratio falls below ``--min-ratio``::
+
+    PYTHONPATH=src python benchmarks/bench_engine_guard.py --smoke
+    PYTHONPATH=src python benchmarks/bench_engine_guard.py \
+        --designs tagless --accesses 100000 --min-ratio 2.0
+
+The default floor (1.5x on the smoke workload) is deliberately well
+below the measured speedup: this is a tripwire for "someone put
+per-access work back on the batched path" (or silently routed batched
+runs through the scalar fallback), not a performance contract for a
+particular machine.  IPC is compared exactly across engines as a free
+correctness canary -- a guard run that got faster by diverging is a
+failure, not a win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common.config import default_system  # noqa: E402
+from repro.cpu.multicore import BoundTrace  # noqa: E402
+from repro.cpu.simulator import Simulator  # noqa: E402
+from repro.designs.registry import ALL_DESIGN_NAMES  # noqa: E402
+from repro.workloads.generator import TraceGenerator  # noqa: E402
+from repro.workloads.spec import spec_profile  # noqa: E402
+
+SMOKE_ACCESSES = 20_000
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--designs", nargs="+", default=["tagless"],
+                        choices=ALL_DESIGN_NAMES, metavar="DESIGN",
+                        help="designs to compare (default: tagless, the "
+                             "hot path the batched kernels specialise)")
+    parser.add_argument("--workload", default="mcf",
+                        help="SPEC program driving the engines (default mcf)")
+    parser.add_argument("--accesses", type=int, default=100_000,
+                        help="trace length per timing (default 100k)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timings per engine; best is compared")
+    parser.add_argument("--cache-mb", type=int, default=1024)
+    parser.add_argument("--scale", type=int, default=64)
+    parser.add_argument("--min-ratio", type=float, default=1.5,
+                        help="required batched/scalar throughput ratio "
+                             "(default 1.5)")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI size: {SMOKE_ACCESSES} accesses, repeat "
+                             "bumped to 5 to tame timing noise")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the comparison as JSON on stdout")
+    return parser.parse_args(argv)
+
+
+def _best_of(simulator: Simulator, design: str, bindings, repeat: int,
+             engine: str):
+    """(best wall seconds, ipc) over ``repeat`` runs under ``engine``."""
+    best = float("inf")
+    ipc = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = simulator.run(design, bindings, engine=engine)
+        best = min(best, time.perf_counter() - start)
+        ipc = result.ipc_sum
+    return best, ipc
+
+
+def run_guard(args: argparse.Namespace) -> list:
+    accesses = SMOKE_ACCESSES if args.smoke else args.accesses
+    repeat = max(args.repeat, 5) if args.smoke else args.repeat
+    generator = TraceGenerator(spec_profile(args.workload),
+                               capacity_scale=args.scale)
+    trace = generator.generate(accesses)
+    config = default_system(cache_megabytes=args.cache_mb, num_cores=1,
+                            capacity_scale=args.scale)
+    simulator = Simulator(config)
+    bindings = [BoundTrace(0, 0, trace)]
+
+    rows = []
+    for design in args.designs:
+        scalar_s, scalar_ipc = _best_of(simulator, design, bindings,
+                                        repeat, "scalar")
+        batched_s, batched_ipc = _best_of(simulator, design, bindings,
+                                          repeat, "batched")
+        ratio = (scalar_s / batched_s) if batched_s > 0 else 0.0
+        identical = scalar_ipc == batched_ipc
+        status = "ok" if (ratio >= args.min_ratio and identical) else "FAIL"
+        rows.append({
+            "design": design,
+            "accesses": accesses,
+            "scalar_accesses_per_second":
+                accesses / scalar_s if scalar_s > 0 else 0.0,
+            "batched_accesses_per_second":
+                accesses / batched_s if batched_s > 0 else 0.0,
+            "ratio": ratio,
+            "ipc_identical": identical,
+            "status": status,
+        })
+        note = "" if identical else "  IPC DIVERGED"
+        print(f"  [{status:4s}] {design:8s} batched/scalar "
+              f"{ratio:5.2f}x (floor {args.min_ratio:g}x){note}",
+              file=sys.stderr)
+    return rows
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.min_ratio <= 0:
+        raise SystemExit("--min-ratio must be positive")
+    print(f"engine guard (floor {args.min_ratio:g}x, "
+          f"workload {args.workload})", file=sys.stderr)
+    rows = run_guard(args)
+    failures = [r for r in rows if r["status"] == "FAIL"]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    verdict = "PASS" if not failures else f"FAIL ({len(failures)} designs)"
+    print(f"engine guard: {verdict}")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

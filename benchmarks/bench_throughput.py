@@ -18,7 +18,15 @@ SPEC workload through every selected design and reports the best of
 noise in throughput numbers).  ``--smoke`` shrinks the trace to a few
 thousand accesses so CI can prove the entry point works without paying
 for a real measurement.  The text table is archived to
-``benchmarks/results/throughput.txt`` like the figure tables.
+``benchmarks/results/throughput.txt`` like the figure tables, and
+``--json`` additionally writes the machine-readable records (per-design
+acc/s, best-of-N, engine mode) to
+``benchmarks/results/BENCH_throughput.json`` so perf trajectories can be
+diffed across PRs without parsing tables.
+
+``--engine batched`` times the fused kernels of :mod:`repro.cpu.batched`
+instead of the per-access loop; the engines are bit-identical, so the
+IPC column is a correctness canary across modes.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.common.config import default_system  # noqa: E402
+from repro.cpu.batched import ENGINE_MODES  # noqa: E402
 from repro.cpu.multicore import BoundTrace  # noqa: E402
 from repro.cpu.simulator import Simulator  # noqa: E402
 from repro.designs.registry import ALL_DESIGN_NAMES  # noqa: E402
@@ -60,27 +69,33 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help=f"tiny trace ({SMOKE_ACCESSES} accesses, one "
                              "repeat): exercises the entry point, does not "
                              "measure")
+    parser.add_argument("--engine", choices=ENGINE_MODES, default="scalar",
+                        help="execution engine to time (default scalar; "
+                             "batched runs the fused kernels)")
     parser.add_argument("--json", action="store_true",
-                        help="emit results as JSON on stdout")
+                        help="emit results as JSON on stdout and archive "
+                             "them to benchmarks/results/"
+                             "BENCH_throughput.json")
     parser.add_argument("--no-archive", action="store_true",
-                        help="do not write benchmarks/results/throughput.txt")
+                        help="do not write benchmarks/results/ artifacts")
     return parser.parse_args(argv)
 
 
 def time_design(design_name: str, simulator: Simulator, bindings,
-                repeat: int) -> dict:
+                repeat: int, engine: str = "scalar") -> dict:
     """Best-of-``repeat`` wall time for one design; returns a record."""
     total_accesses = sum(len(b.trace) for b in bindings)
     best = float("inf")
     ipc = None
     for _ in range(repeat):
         start = time.perf_counter()
-        result = simulator.run(design_name, bindings)
+        result = simulator.run(design_name, bindings, engine=engine)
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         ipc = result.ipc_sum
     return {
         "design": design_name,
+        "engine": engine,
         "accesses": total_accesses,
         "seconds": best,
         # A zero-length run finishes in ~0s and serves 0 accesses; its
@@ -102,7 +117,8 @@ def run(args: argparse.Namespace) -> list:
     bindings = [BoundTrace(0, 0, trace)]
     records = []
     for design in args.designs:
-        record = time_design(design, simulator, bindings, repeat)
+        record = time_design(design, simulator, bindings, repeat,
+                             engine=args.engine)
         records.append(record)
         print(f"  {design:8s} {record['accesses_per_second']:12,.0f} acc/s "
               f"({record['seconds'] * 1e3:8.1f} ms)", file=sys.stderr)
@@ -113,7 +129,7 @@ def table(records: list, args: argparse.Namespace) -> str:
     lines = [
         "Simulation-engine throughput "
         f"(workload {args.workload}, {records[0]['accesses']} accesses, "
-        f"best of {1 if args.smoke else args.repeat})",
+        f"engine {args.engine}, best of {1 if args.smoke else args.repeat})",
         f"{'design':10s} {'accesses/s':>14s} {'ms/run':>10s}",
     ]
     for record in records:
@@ -139,6 +155,20 @@ def main(argv=None) -> int:
         with open(path, "w") as handle:
             handle.write(text + "\n")
         print(f"archived to {path}", file=sys.stderr)
+        if args.json:
+            payload = {
+                "benchmark": "throughput",
+                "workload": args.workload,
+                "accesses": records[0]["accesses"] if records else 0,
+                "repeat": args.repeat,
+                "engine": args.engine,
+                "records": records,
+            }
+            json_path = os.path.join(RESULTS_DIR, "BENCH_throughput.json")
+            with open(json_path, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"archived to {json_path}", file=sys.stderr)
     return 0
 
 

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis import experiments
 from repro.common.config import default_system
 from repro.common.errors import ConfigurationError
+from repro.cpu.batched import ENGINE_MODES
 from repro.cpu.multicore import BoundTrace
 from repro.cpu.simulator import Simulator
 from repro.designs.registry import ALL_DESIGN_NAMES, DESIGN_NAMES
@@ -71,6 +73,11 @@ def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write a JSONL progress time-series "
                              "(jobs/errors/cache hits over wall time) to "
                              "PATH")
+    parser.add_argument("--engine", choices=ENGINE_MODES, default=None,
+                        help="execution engine: scalar (per-access loop) "
+                             "or batched (fused kernels; bit-identical, "
+                             "faster).  Default: $REPRO_ENGINE, else "
+                             "scalar")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retries", type=int, default=0,
                      help="extra attempts if the run fails (supervised "
                           "mode, like --timeout)")
+    run.add_argument("--engine", choices=ENGINE_MODES, default=None,
+                     help="execution engine: scalar (per-access loop) or "
+                          "batched (fused kernels; bit-identical, "
+                          "faster).  Default: $REPRO_ENGINE, else scalar")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -612,6 +623,7 @@ def _run_supervised(args: argparse.Namespace):
             capacity_scale=args.scale,
             warmup_fraction=args.warmup,
             timeout_s=args.timeout,
+            engine=args.engine,
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -652,7 +664,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             telemetry = make_telemetry(interval=args.interval)
         result = Simulator(config).run(
             args.design, bindings, warmup_fraction=args.warmup,
-            telemetry=telemetry,
+            telemetry=telemetry, engine=args.engine,
         )
     metrics = {
         "design": args.design,
@@ -771,6 +783,11 @@ def _finish_harness(harness: Harness) -> None:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     accesses = args.accesses
+    if args.engine is not None:
+        # The figure runners build their JobSpecs internally; the
+        # environment default reaches them (and forked workers) without
+        # threading a parameter through every runner signature.
+        os.environ["REPRO_ENGINE"] = args.engine
     harness = _build_harness(args, args.figure, args.artifact)
     try:
         if args.figure == "fig7":
@@ -851,6 +868,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         capacity_scale=args.scale,
                         warmup_fraction=args.warmup,
                         validate=args.validate,
+                        engine=args.engine,
                     ))
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None

@@ -32,7 +32,7 @@ PTEP_BITS = 42
 ENTRY_BITS_BASE = PPN_BITS + PTEP_BITS
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class GIPTEntry:
     """One cached page's reverse mapping.
 

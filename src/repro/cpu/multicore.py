@@ -143,10 +143,14 @@ def run_interleaved(
     design: MemorySystemDesign,
     bindings: List[BoundTrace],
     max_accesses: Optional[int] = None,
+    _kernel=None,
 ) -> List[CoreResult]:
     """Replay every bound trace to completion; returns per-core results.
 
     ``max_accesses`` optionally truncates each trace (handy for tests).
+    ``_kernel`` is the batched engine's hook (see :mod:`repro.cpu.batched`):
+    a fused ``kernel(design, state)`` replacement for :func:`_run_single`
+    used in the single-active-core regime when the run is unobserved.
     """
     if not bindings:
         return []
@@ -208,7 +212,12 @@ def run_interleaved(
 
     # Single-core regime (or tail of a multi-core run): tight loop.
     if active:
-        _run_single(active[0], access_cycles, generic=attach is not None)
+        state = active[0]
+        if (_kernel is not None and attach is None
+                and type(state.model) is CoreTimingModel):
+            _kernel(design, state)
+        else:
+            _run_single(state, access_cycles, generic=attach is not None)
 
     return [
         CoreResult(

@@ -10,10 +10,13 @@ runners and benchmarks are thin loops over this call.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.energy import EnergyBreakdown, compute_energy
 from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.cpu.batched import ENGINE_MODES, run_interleaved_batched
 from repro.cpu.multicore import BoundTrace, CoreResult, run_interleaved
 from repro.designs.base import MemorySystemDesign
 from repro.designs.registry import create_design
@@ -83,6 +86,7 @@ class Simulator:
         validate: Optional[bool] = None,
         validate_every: Optional[int] = None,
         telemetry=None,
+        engine: Optional[str] = None,
     ) -> SimulationResult:
         """Simulate ``bindings`` on a fresh instance of ``design_name``.
 
@@ -114,7 +118,24 @@ class Simulator:
         before the invariant checker does, keeping the access_cycles
         wrapper chain consistent.  Telemetry is strictly observational
         -- results are bit-identical with and without it.
+
+        ``engine`` selects the execution engine: ``"scalar"`` (the
+        per-access loop) or ``"batched"`` (the fused kernels of
+        :mod:`repro.cpu.batched`).  ``None`` defers to the
+        ``REPRO_ENGINE`` environment variable, defaulting to scalar.
+        The engines are bit-identical (the golden-stats oracle runs
+        under both); batched runs that turn out to be observed --
+        telemetry, validation, event tracing -- quietly execute the
+        scalar loop, since the fused kernels bypass every hook.
         """
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE", "scalar")
+        if engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_MODES}"
+            )
+        replay = run_interleaved_batched if engine == "batched" \
+            else run_interleaved
         if not (0.0 <= warmup_fraction < 1.0):
             raise ValueError("warmup_fraction must be in [0, 1)")
         if validate is None:
@@ -150,6 +171,11 @@ class Simulator:
         if warmup_fraction > 0.0:
             warm, measured = [], []
             for binding in bindings:
+                # Materialize the parent's list cache before slicing:
+                # both halves then inherit shared slices of it
+                # (AccessTrace.slice's seeded path), so repeated runs
+                # of the same trace never re-convert the numpy columns.
+                binding.trace.as_lists()
                 split = int(len(binding.trace) * warmup_fraction)
                 warm.append(
                     BoundTrace(binding.core_id, binding.process_id,
@@ -159,7 +185,7 @@ class Simulator:
                     BoundTrace(binding.core_id, binding.process_id,
                                binding.trace.slice(split, len(binding.trace)))
                 )
-            run_interleaved(design, warm)
+            replay(design, warm)
             design.reset_stats()
             bindings = measured
         if telemetry is not None:
@@ -169,7 +195,7 @@ class Simulator:
             telemetry.install(design)
             if checker is not None:
                 checker.tracer = telemetry.tracer
-        cores = run_interleaved(design, bindings)
+        cores = replay(design, bindings)
         if telemetry is not None:
             telemetry.uninstall()
         if checker is not None:
@@ -186,3 +212,8 @@ class Simulator:
             energy=energy,
             stats=design.stats(),
         )
+
+    def run_batched(self, design_name: str, bindings: Sequence[BoundTrace],
+                    **kwargs) -> SimulationResult:
+        """:meth:`run` under the batched engine (same results, faster)."""
+        return self.run(design_name, bindings, engine="batched", **kwargs)

@@ -55,6 +55,9 @@ class DRAMDevice:
             timing.row_empty_ns(CACHE_LINE_BYTES) + timing.controller_ns
         )
         self._block_nj = energy.access_nj(CACHE_LINE_BYTES, 1)
+        # Full-page transfer time, for the fill/stream paths (footprint
+        # fills pass other sizes and take the computed branch).
+        self._page_transfer_ns = timing.transfer_ns(PAGE_BYTES)
 
     def _catch_up_refresh(self, now_ns: float) -> None:
         """Issue every refresh due by ``now_ns`` (tREFI cadence, tRFC
@@ -156,7 +159,7 @@ class DRAMDevice:
             activations = 1
         channel = self.channels.channel_of_page(page_number)
         self.channels.occupy_background(
-            channel, now_ns, self.timing.transfer_ns(CACHE_LINE_BYTES)
+            channel, now_ns, self._block_transfer_ns
         )
         self.energy.charge(CACHE_LINE_BYTES, activations, is_write=True)
         return service_ns
@@ -180,11 +183,9 @@ class DRAMDevice:
                 f"{PAGE_BYTES}]"
             )
         self._catch_up_refresh(now_ns)
-        service_ns = (
-            self.timing.row_empty_ns(CACHE_LINE_BYTES)
-            + self.timing.controller_ns
-        )
-        transfer_ns = self.timing.transfer_ns(num_bytes)
+        service_ns = self._block_service_ns
+        transfer_ns = (self._page_transfer_ns if num_bytes == PAGE_BYTES
+                       else self.timing.transfer_ns(num_bytes))
         channel = self.channels.channel_of_page(page_number)
         queue_ns = self.channels.occupy(channel, now_ns, transfer_ns)
         self.energy.charge(num_bytes, 1, is_write=False)
@@ -219,7 +220,8 @@ class DRAMDevice:
                 f"{PAGE_BYTES}]"
             )
         self._catch_up_refresh(now_ns)
-        transfer_ns = self.timing.transfer_ns(num_bytes)
+        transfer_ns = (self._page_transfer_ns if num_bytes == PAGE_BYTES
+                       else self.timing.transfer_ns(num_bytes))
         channel = self.channels.channel_of_page(page_number)
         if asynchronous:
             self.channels.occupy_background(channel, now_ns, transfer_ns)

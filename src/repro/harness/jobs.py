@@ -25,6 +25,7 @@ import repro
 from repro.common import rng
 from repro.common.config import SystemConfig, default_system
 from repro.common.errors import ConfigurationError
+from repro.cpu.batched import ENGINE_MODES
 from repro.cpu.multicore import BoundTrace
 from repro.cpu.simulator import SimulationResult, Simulator
 from repro.workloads.generator import TraceGenerator
@@ -120,6 +121,11 @@ class JobSpec:
     #: to ``$REPRO_JOB_TIMEOUT``).  Excluded from the cache key: how
     #: long a job is *allowed* to run does not change its result.
     timeout_s: Optional[float] = None
+    #: Execution engine ("scalar" or "batched"); ``None`` defers to
+    #: ``$REPRO_ENGINE``.  Excluded from the cache key like
+    #: ``timeout_s``: the engines are bit-identical (the golden oracle
+    #: locks this), so the choice is execution policy, not input.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.workload_kind:
@@ -139,6 +145,11 @@ class JobSpec:
             raise ConfigurationError("warmup_fraction must be in [0, 1)")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ConfigurationError("timeout_s must be positive")
+        if self.engine is not None and self.engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {ENGINE_MODES}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -169,10 +180,11 @@ class JobSpec:
         """
         payload = self.to_dict()
         # Execution policy, not simulation input: two runs differing
-        # only in how long they allow a job to take address the same
-        # cached result (and keys stay stable across the field's
-        # introduction).
+        # only in how long they allow a job to take -- or which of the
+        # bit-identical engines runs it -- address the same cached
+        # result (and keys stay stable across the fields' introduction).
         payload.pop("timeout_s", None)
+        payload.pop("engine", None)
         payload["base_seed"] = self.effective_seed
         payload["schema"] = SCHEMA_VERSION
         payload["code"] = code_fingerprint()
@@ -222,19 +234,23 @@ class JobSpec:
         ]
 
 
-def execute_job(spec: JobSpec) -> SimulationResult:
+def execute_job(spec: JobSpec, bindings=None) -> SimulationResult:
     """Run one spec to completion and return its simulation result.
 
     This is the function worker processes call; everything it needs is
     reconstructed from the spec, so no simulator state ever crosses a
-    process boundary.
+    process boundary.  ``bindings`` optionally supplies the traces
+    already materialised (the shared-memory dispatch path of
+    :mod:`repro.harness.shm`); it must describe exactly what
+    ``spec.bindings()`` would generate.
     """
     previous_seed = rng.BASE_SEED
     override = spec.base_seed is not None and spec.base_seed != previous_seed
     if override:
         rng.BASE_SEED = spec.base_seed
     try:
-        bindings = spec.bindings()
+        if bindings is None:
+            bindings = spec.bindings()
         non_cacheable = None
         if spec.nc_threshold is not None:
             # Accumulate counts per address space: threads of a parsec
@@ -260,6 +276,7 @@ def execute_job(spec: JobSpec) -> SimulationResult:
             warmup_fraction=spec.warmup_fraction,
             # False defers to REPRO_VALIDATE; True forces validation on.
             validate=spec.validate or None,
+            engine=spec.engine,
         )
     finally:
         if override:
@@ -285,7 +302,7 @@ def _traceback_tail() -> str:
 
 
 def execute_captured(
-    spec: JobSpec, attempt: int = 0,
+    spec: JobSpec, attempt: int = 0, bindings=None,
 ) -> Tuple[Optional[SimulationResult], Optional[str], Optional[str], float]:
     """Run one spec, trapping any exception into strings.
 
@@ -294,14 +311,16 @@ def execute_captured(
     exception objects are not reliably picklable -- as a one-line
     ``TypeName: msg`` plus the traceback tail for post-hoc debugging.
     ``attempt`` is the zero-based retry attempt, consumed only by the
-    deterministic fault-injection hook (:mod:`repro.harness.faults`).
+    deterministic fault-injection hook (:mod:`repro.harness.faults`);
+    ``bindings`` optionally carries pre-materialised traces (see
+    :func:`execute_job`).
     """
     from repro.harness.faults import apply_faults
 
     start = time.perf_counter()
     try:
         apply_faults(spec.label, attempt)
-        result = execute_job(spec)
+        result = execute_job(spec, bindings=bindings)
         return result, None, None, time.perf_counter() - start
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
         error = f"{type(exc).__name__}: {exc}"
@@ -332,6 +351,14 @@ class JobResult:
     error_detail: Optional[str] = None
     #: How many retries this job consumed before its terminal attempt.
     retries: int = 0
+    #: Trace bytes that crossed the worker pipe by value for this job
+    #: (the shared-memory arena's inline fallback; 0 when traces were
+    #: regenerated in-worker or served from shared memory).
+    trace_bytes_pickled: int = 0
+    #: Trace bytes this job consumed from parent-published shared-memory
+    #: segments (attachment is zero-copy; the bytes were written once
+    #: per recipe, not per job).
+    trace_bytes_shared: int = 0
 
     def __post_init__(self) -> None:
         if not self.status:

@@ -27,13 +27,21 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.harness.jobs import JobSpec, execute_captured
+from repro.harness.shm import TraceShare, attach_bindings
 
 #: Seconds to wait for a worker to exit voluntarily before killing it.
 _JOIN_GRACE_S = 2.0
 
 
 def _worker_main(conn) -> None:
-    """Worker loop: receive ``(index, spec, attempt)``, send the outcome.
+    """Worker loop: receive ``(index, spec, attempt, share)``, send the
+    outcome.
+
+    ``share`` is an optional :class:`~repro.harness.shm.TraceShare`
+    manifest: when present the worker attaches the parent's published
+    trace segments instead of regenerating the traces from the spec.
+    Attachment failure (a vanished segment) falls back to regeneration
+    -- slower, never wrong, since both paths are bit-identical.
 
     SIGINT is ignored so a Ctrl-C on the parent's terminal (delivered to
     the whole process group) leaves the drain decision to the
@@ -50,8 +58,14 @@ def _worker_main(conn) -> None:
             break
         if payload is None:
             break
-        index, spec, attempt = payload
-        outcome = execute_captured(spec, attempt)
+        index, spec, attempt, share = payload
+        bindings = None
+        if share is not None:
+            try:
+                bindings = attach_bindings(share)
+            except Exception:  # pragma: no cover - segment raced away
+                bindings = None
+        outcome = execute_captured(spec, attempt, bindings=bindings)
         try:
             conn.send((index,) + outcome)
         except Exception:  # result not picklable: report it as an error
@@ -65,16 +79,19 @@ def _worker_main(conn) -> None:
 class _InFlight:
     """The job a worker is currently running, with its deadline."""
 
-    __slots__ = ("index", "spec", "attempt", "deadline", "started")
+    __slots__ = ("index", "spec", "attempt", "deadline", "started", "share")
 
     def __init__(self, index: int, spec: JobSpec, attempt: int,
-                 timeout_s: Optional[float]):
+                 timeout_s: Optional[float],
+                 share: Optional[TraceShare] = None):
         self.index = index
         self.spec = spec
         self.attempt = attempt
         self.started = time.monotonic()
         self.deadline = (self.started + timeout_s
                          if timeout_s is not None else None)
+        #: Trace manifest dispatched with the job (None: regeneration).
+        self.share = share
 
 
 class WorkerHandle:
@@ -118,7 +135,8 @@ class WorkerPool:
                 or len(self._workers) < self.max_workers)
 
     def submit(self, index: int, spec: JobSpec, attempt: int,
-               timeout_s: Optional[float]) -> None:
+               timeout_s: Optional[float],
+               share: Optional[TraceShare] = None) -> None:
         """Hand one job to an idle worker (spawning one if needed)."""
         worker = None
         for candidate in self._workers:
@@ -135,8 +153,8 @@ class WorkerPool:
                 raise RuntimeError("no idle worker (check has_capacity)")
             worker = WorkerHandle(self._ctx)
             self._workers.append(worker)
-        worker.job = _InFlight(index, spec, attempt, timeout_s)
-        worker.conn.send((index, spec, attempt))
+        worker.job = _InFlight(index, spec, attempt, timeout_s, share)
+        worker.conn.send((index, spec, attempt, share))
 
     # ------------------------------------------------------------------
     def poll(

@@ -49,6 +49,7 @@ from repro.harness.artifacts import RunArtifact
 from repro.harness.cache import ResultCache, simulation_result_from_dict
 from repro.harness.jobs import JobResult, JobSpec, execute_captured
 from repro.harness.pool import DONE, WorkerPool
+from repro.harness.shm import TraceArena
 
 #: Environment variable supplying the default per-job timeout (seconds).
 TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
@@ -171,7 +172,8 @@ def run_jobs(
         pending.append((index, spec))
 
     def finish(index: int, spec: JobSpec, result, error, detail, wall,
-               status: str = "", attempt: int = 0) -> None:
+               status: str = "", attempt: int = 0,
+               transfer: Tuple[int, int] = (0, 0)) -> None:
         if cache is not None and error is None:
             cache.put(spec, result, wall_time_s=wall)
         outcomes[index] = JobResult(
@@ -183,6 +185,8 @@ def run_jobs(
             status=status,
             error_detail=detail,
             retries=attempt,
+            trace_bytes_pickled=transfer[0],
+            trace_bytes_shared=transfer[1],
         )
         _report(outcomes[index], progress, artifact, observer)
 
@@ -196,8 +200,14 @@ def run_jobs(
     # serial run with a timeout is supervised by a one-worker pool.
     needs_pool = any(job_timeout(spec) is not None for _, spec in pending)
     if pending and (needs_pool or (jobs > 1 and len(pending) > 1)):
-        _run_pooled(pending, min(jobs, len(pending)), job_timeout,
-                    retries, retry_backoff_s, finish, notify_retry)
+        # The arena outlives every worker (segments are unlinked here,
+        # in the parent, after the pool is torn down), so a crashed or
+        # killed worker can never leak a segment -- it only ever held
+        # an attachment.
+        with TraceArena() as arena:
+            _run_pooled(pending, min(jobs, len(pending)), job_timeout,
+                        retries, retry_backoff_s, finish, notify_retry,
+                        arena)
     else:
         for index, spec in pending:
             attempt = 0
@@ -234,18 +244,37 @@ _QueueEntry = Tuple[int, JobSpec, int, float]  # index, spec, attempt, t_ready
 
 
 def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
-                finish, notify_retry) -> None:
+                finish, notify_retry, arena=None) -> None:
     """Schedule ``pending`` over a supervised pool until all terminate.
 
     Owns the retry queue and deadline enforcement; terminal outcomes are
     delivered through ``finish``.  Workers are always torn down on the
     way out, including on ``KeyboardInterrupt`` -- landed outcomes have
     already been streamed, which is what makes an interrupted sweep
-    resumable.
+    resumable.  ``arena`` optionally publishes each job's traces to
+    shared memory once per recipe; retries and replacement workers
+    re-attach the same segments, so trace data crosses a process
+    boundary at most once per sweep, not once per attempt.
     """
     queue: Deque[_QueueEntry] = collections.deque(
         (index, spec, 0, 0.0) for index, spec in pending
     )
+
+    def share_for(spec):
+        if arena is None:
+            return None
+        try:
+            return arena.share_for(spec)
+        except Exception:
+            # Trace generation failed in the parent; hand the job to a
+            # worker anyway so the failure is captured per-job instead
+            # of aborting the sweep.
+            return None
+
+    def transfer_of(job) -> Tuple[int, int]:
+        if job.share is None:
+            return (0, 0)
+        return (job.share.pickled_nbytes, job.share.shared_nbytes)
 
     def requeue_or_fail(job, error, detail, wall, status) -> None:
         if job.attempt < retries:
@@ -255,7 +284,8 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
             queue.append((job.index, job.spec, job.attempt + 1, ready))
         else:
             finish(job.index, job.spec, None, error, detail, wall,
-                   status=status, attempt=job.attempt)
+                   status=status, attempt=job.attempt,
+                   transfer=transfer_of(job))
 
     with WorkerPool(workers) as pool:
         while queue or pool.busy():
@@ -269,7 +299,8 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
                     deferred.append(entry)
                     continue
                 index, spec, attempt, _ready = entry
-                pool.submit(index, spec, attempt, job_timeout(spec))
+                pool.submit(index, spec, attempt, job_timeout(spec),
+                            share=share_for(spec))
             queue.extendleft(reversed(deferred))
 
             if not pool.busy():
@@ -293,7 +324,8 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
                     result, error, detail, wall = payload
                     if error is None:
                         finish(job.index, job.spec, result, None, None,
-                               wall, attempt=job.attempt)
+                               wall, attempt=job.attempt,
+                               transfer=transfer_of(job))
                     else:
                         requeue_or_fail(job, error, detail, wall, "error")
                 else:  # the worker process died mid-job

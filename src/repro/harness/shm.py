@@ -1,0 +1,280 @@
+"""Zero-copy trace dispatch over ``multiprocessing.shared_memory``.
+
+Worker processes historically *regenerated* every trace from its spec --
+deterministic, but a sweep of K jobs over the same multi-million-access
+workload paid the synthesis cost K times (and K more times on retries).
+The :class:`TraceArena` moves that cost to the parent, exactly once per
+distinct trace recipe:
+
+- the parent materialises the spec's bindings, packs each trace's
+  columnar buffer (:class:`~repro.workloads.trace.ColumnarTrace`) into
+  one ``SharedMemory`` segment, and keeps the handle;
+- the job rides the pool's submit payload with a tiny
+  :class:`TraceShare` manifest (segment names and trace metadata, no
+  trace data);
+- the worker attaches the named segments -- zero-copy, cached for the
+  life of the process -- and replays ``ColumnarTrace`` views over them.
+
+Lifecycle is parent-owned: segments are created before the first submit
+that needs them and unlinked in the runner's ``finally``, so a worker
+that is SIGKILLed mid-job (or replaced after a crash) never leaks a
+segment -- it only ever held an *attachment*.  Retries and replacement
+workers re-attach the same segments; nothing is ever re-published.
+
+``REPRO_SHM=0`` disables the arena (workers fall back to in-worker
+regeneration, the pre-arena behaviour).  Platforms where ``SharedMemory``
+creation fails fall back per-trace to shipping the packed bytes inline
+in the manifest -- still one materialisation in the parent, but the
+bytes then cross the pipe by pickling and are counted as such
+(``JobResult.trace_bytes_pickled`` vs ``trace_bytes_shared``).
+
+Either way the results are bit-identical to regeneration: the golden
+oracle locks ``ColumnarTrace`` replay against the object traces, and
+the recipe key covers every input trace generation depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import rng
+from repro.cpu.multicore import BoundTrace
+from repro.workloads.trace import ColumnarTrace
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    _shared_memory = None
+
+#: Environment switch: ``0``/``off``/``false`` disables shared-memory
+#: dispatch (workers regenerate traces from specs, the legacy path).
+SHM_ENV = "REPRO_SHM"
+
+
+def shm_enabled() -> bool:
+    """Shared-memory dispatch is on unless ``$REPRO_SHM`` turns it off."""
+    if _shared_memory is None:
+        return False
+    raw = os.environ.get(SHM_ENV, "1").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentRef:
+    """One published trace: where it lives and how to rebind it."""
+
+    #: ``SharedMemory`` name to attach, or ``None`` when the payload
+    #: travels inline (shared memory unavailable).
+    segment: Optional[str]
+    #: Packed columns for the inline fallback (``None`` in shm mode).
+    payload: Optional[bytes]
+    accesses: int
+    trace_name: str
+    base_cpi: float
+    mlp: float
+    core_id: int
+    process_id: int
+
+    @property
+    def nbytes(self) -> int:
+        return ColumnarTrace.buffer_nbytes(self.accesses)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceShare:
+    """The manifest a job carries instead of its trace data."""
+
+    refs: Tuple[SegmentRef, ...]
+
+    @property
+    def shared_nbytes(self) -> int:
+        """Trace bytes served from shared memory for one job."""
+        return sum(r.nbytes for r in self.refs if r.segment is not None)
+
+    @property
+    def pickled_nbytes(self) -> int:
+        """Trace bytes that cross the pipe by value for one job."""
+        return sum(r.nbytes for r in self.refs if r.segment is None)
+
+
+def _recipe_key(spec) -> tuple:
+    """Everything trace generation depends on, nothing else.
+
+    Two specs differing only in design/config knobs share one published
+    trace set -- that sharing, across a sweep's design axis, is most of
+    the arena's win.
+    """
+    return (
+        spec.workload,
+        spec.workload_kind,
+        spec.accesses,
+        spec.capacity_scale,
+        spec.parsec_threads,
+        spec.effective_seed,
+    )
+
+
+class TraceArena:
+    """Parent-owned registry of published trace segments.
+
+    ``share_for(spec)`` returns the manifest for a spec's trace recipe,
+    publishing it on first sight and reusing it afterwards.  ``close()``
+    unlinks every segment; the runner calls it in a ``finally`` so the
+    segments' lifetime is bounded by the sweep, not by any worker.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self.enabled = shm_enabled() if enabled is None else enabled
+        self._shares: Dict[tuple, TraceShare] = {}
+        self._segments: list = []
+        self.publishes = 0
+        self.reuses = 0
+        self.bytes_published = 0
+
+    # ------------------------------------------------------------------
+    def share_for(self, spec) -> Optional[TraceShare]:
+        """Manifest for ``spec``'s traces (publishing them if new)."""
+        if not self.enabled:
+            return None
+        key = _recipe_key(spec)
+        share = self._shares.get(key)
+        if share is not None:
+            self.reuses += 1
+            return share
+        share = self._publish(spec)
+        self._shares[key] = share
+        self.publishes += 1
+        return share
+
+    def _publish(self, spec) -> TraceShare:
+        # bindings() consumes the ambient base seed the same way
+        # execute_job does; replicate its override so parent-generated
+        # traces match what the worker would have regenerated.
+        previous = rng.BASE_SEED
+        override = spec.base_seed is not None and spec.base_seed != previous
+        if override:
+            rng.BASE_SEED = spec.base_seed
+        try:
+            bindings = spec.bindings()
+        finally:
+            if override:
+                rng.BASE_SEED = previous
+        refs = []
+        for binding in bindings:
+            columnar = ColumnarTrace.from_trace(binding.trace)
+            nbytes = columnar.nbytes
+            segment_name = None
+            payload = None
+            segment = self._create_segment(nbytes)
+            if segment is not None:
+                columnar.pack_into(segment.buf)
+                segment_name = segment.name
+                self._segments.append(segment)
+            else:  # inline fallback: ship the packed bytes by value
+                buffer = bytearray(nbytes)
+                columnar.pack_into(buffer)
+                payload = bytes(buffer)
+            self.bytes_published += nbytes
+            refs.append(SegmentRef(
+                segment=segment_name,
+                payload=payload,
+                accesses=len(columnar),
+                trace_name=columnar.name,
+                base_cpi=columnar.base_cpi,
+                mlp=columnar.mlp,
+                core_id=binding.core_id,
+                process_id=binding.process_id,
+            ))
+        return TraceShare(refs=tuple(refs))
+
+    @staticmethod
+    def _create_segment(nbytes: int):
+        if _shared_memory is None:
+            return None
+        try:
+            return _shared_memory.SharedMemory(create=True,
+                                               size=max(1, nbytes))
+        except OSError:  # /dev/shm missing or full: inline fallback
+            return None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        self._shares.clear()
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "TraceArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Segment-name -> (SharedMemory, ColumnarTrace) attachments, cached for
+#: the worker process's lifetime: a worker running 50 jobs over one
+#: trace attaches (and type-casts) it once.
+_ATTACHMENTS: Dict[str, tuple] = {}
+
+
+def _attach_segment(ref: SegmentRef) -> ColumnarTrace:
+    cached = _ATTACHMENTS.get(ref.segment)
+    if cached is not None:
+        return cached[1]
+    segment = _shared_memory.SharedMemory(name=ref.segment, create=False)
+    # Under the spawn start method each worker runs its own resource
+    # tracker, which assumes whoever attaches also owns cleanup and
+    # would unlink the segment when this worker exits -- yanking it out
+    # from under the parent and every sibling.  Lifecycle is
+    # parent-owned here, so withdraw the registration (py3.13's
+    # ``track=False`` parameter, spelled for 3.10-3.12).  Forked
+    # workers share the parent's tracker, where the attach-time
+    # register was an idempotent set-add: leave it, so the parent's
+    # eventual unlink finds its own registration intact.
+    if multiprocessing.get_start_method(allow_none=True) == "spawn":
+        try:  # pragma: no cover - CPython implementation detail
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+    trace = ColumnarTrace.from_buffer(
+        ref.trace_name, ref.accesses, segment.buf,
+        base_cpi=ref.base_cpi, mlp=ref.mlp, owner=segment,
+    )
+    _ATTACHMENTS[ref.segment] = (segment, trace)
+    return trace
+
+
+def attach_bindings(share: TraceShare) -> List[BoundTrace]:
+    """Rebuild a job's bindings from its manifest (worker side).
+
+    Shared segments are attached zero-copy and cached; inline payloads
+    are wrapped in place.  Raises on a vanished segment -- the caller
+    falls back to regenerating from the spec.
+    """
+    bindings = []
+    for ref in share.refs:
+        if ref.segment is not None:
+            trace = _attach_segment(ref)
+        else:
+            trace = ColumnarTrace.from_buffer(
+                ref.trace_name, ref.accesses, ref.payload,
+                base_cpi=ref.base_cpi, mlp=ref.mlp, owner=ref.payload,
+            )
+        bindings.append(BoundTrace(core_id=ref.core_id,
+                                   process_id=ref.process_id,
+                                   trace=trace))
+    return bindings

@@ -35,10 +35,16 @@ class HarnessObserver:
         self.timeouts = 0
         self.crashes = 0
         self.retries = 0
+        #: Trace bytes shipped to workers by value vs attached from
+        #: shared memory (see :mod:`repro.harness.shm`): the zero-copy
+        #: dispatch ledger.  Shared bytes are counted per *consuming*
+        #: job; the arena wrote each segment only once.
+        self.trace_bytes_pickled = 0
+        self.trace_bytes_shared = 0
         #: Progress samples, one per completed job (columnar).
         self.columns: Dict[str, List[float]] = {
             "t_ns": [], "jobs_done": [], "cache_hits": [], "errors": [],
-            "job_wall_s": [], "retries": [],
+            "job_wall_s": [], "retries": [], "trace_bytes_shared": [],
         }
         self._finished = False
         #: Artifact destinations the CLI wires up; written at finish().
@@ -66,13 +72,21 @@ class HarnessObserver:
             self.cache_hits += 1
         elif outcome.cache_status == "resume":
             self.resumed += 1
+        self.trace_bytes_pickled += getattr(outcome,
+                                            "trace_bytes_pickled", 0)
+        self.trace_bytes_shared += getattr(outcome,
+                                           "trace_bytes_shared", 0)
         wall_ns = outcome.wall_time_s * 1e9
         self.tracer.event(
             "job", outcome.spec.label, max(0.0, now_ns - wall_ns),
             dur_ns=wall_ns,
             args={"cache": outcome.cache_status, "ok": outcome.ok,
                   "status": status,
-                  "retries": getattr(outcome, "retries", 0)},
+                  "retries": getattr(outcome, "retries", 0),
+                  "trace_bytes_pickled": getattr(
+                      outcome, "trace_bytes_pickled", 0),
+                  "trace_bytes_shared": getattr(
+                      outcome, "trace_bytes_shared", 0)},
         )
         self.columns["t_ns"].append(now_ns)
         self.columns["jobs_done"].append(float(self.done))
@@ -80,6 +94,8 @@ class HarnessObserver:
         self.columns["errors"].append(float(self.errors))
         self.columns["job_wall_s"].append(outcome.wall_time_s)
         self.columns["retries"].append(float(self.retries))
+        self.columns["trace_bytes_shared"].append(
+            float(self.trace_bytes_shared))
 
     def job_retry(self, spec, attempt: int, error: str) -> None:
         """Record one retry decision (job failed, another attempt granted).

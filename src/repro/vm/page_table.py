@@ -27,7 +27,7 @@ from typing import Dict, Optional
 from repro.common.errors import SimulationError
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PageTableEntry:
     """One PTE: translation target plus the three new flag bits."""
 

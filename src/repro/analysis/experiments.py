@@ -26,6 +26,7 @@ import dataclasses
 from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table, normalize_to, percent_delta
+from repro.common.machine import MachineSpec
 from repro.common.stats import geometric_mean
 from repro.cpu.simulator import SimulationResult
 from repro.designs.registry import DESIGN_NAMES
@@ -170,6 +171,7 @@ def run_single_programmed(
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    machine: Optional[MachineSpec] = None,
     harness: Optional[Harness] = None,
 ) -> SingleProgramResult:
     """Run the Figure 7 / Figure 8 sweep (11 programs x 5 designs)."""
@@ -183,6 +185,7 @@ def run_single_programmed(
             num_cores=1,
             capacity_scale=capacity_scale,
             warmup_fraction=warmup_fraction,
+            machine=machine,
         )
         for program in programs
         for design in designs
@@ -266,6 +269,7 @@ def run_multi_programmed(
     cache_megabytes: int = 1024,
     replacement: str = "fifo",
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    machine: Optional[MachineSpec] = None,
     harness: Optional[Harness] = None,
 ) -> MixResult:
     """Run the Figure 9 sweep (8 mixes x designs, 4 cores)."""
@@ -280,6 +284,7 @@ def run_multi_programmed(
             replacement=replacement,
             capacity_scale=capacity_scale,
             warmup_fraction=warmup_fraction,
+            machine=machine,
         )
         for mix in mixes
         for design in designs
@@ -356,6 +361,7 @@ def run_cache_size_sweep(
     accesses: int = DEFAULT_MIX_ACCESSES,
     capacity_scale: int = 64,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    machine: Optional[MachineSpec] = None,
     harness: Optional[Harness] = None,
 ) -> CacheSizeResult:
     """Run the Figure 10 sweep: cache size sensitivity on the mixes."""
@@ -369,6 +375,7 @@ def run_cache_size_sweep(
             num_cores=4,
             capacity_scale=capacity_scale,
             warmup_fraction=warmup_fraction,
+            machine=machine,
         )
         for size in sizes_mb
         for mix in mixes
@@ -441,6 +448,7 @@ def run_replacement_study(
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    machine: Optional[MachineSpec] = None,
     harness: Optional[Harness] = None,
 ) -> ReplacementResult:
     """Run the Figure 11 ablation: FIFO vs LRU for the tagless cache."""
@@ -455,6 +463,7 @@ def run_replacement_study(
             replacement=policy,
             capacity_scale=capacity_scale,
             warmup_fraction=warmup_fraction,
+            machine=machine,
         )
         for policy in ("fifo", "lru")
         for mix in mixes
@@ -527,6 +536,7 @@ def run_parsec(
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    machine: Optional[MachineSpec] = None,
     harness: Optional[Harness] = None,
 ) -> ParsecResult:
     """Run the Figure 12 sweep: 4 PARSEC programs, 4 threads, shared pages."""
@@ -540,6 +550,7 @@ def run_parsec(
             num_cores=4,
             capacity_scale=capacity_scale,
             warmup_fraction=warmup_fraction,
+            machine=machine,
             parsec_threads=4,
         )
         for program in programs
@@ -598,6 +609,7 @@ def run_noncacheable_study(
     capacity_scale: int = 64,
     cache_megabytes: int = 1024,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    machine: Optional[MachineSpec] = None,
     harness: Optional[Harness] = None,
 ) -> NonCacheableResult:
     """Run the Section 5.4 case study.
@@ -617,6 +629,7 @@ def run_noncacheable_study(
         num_cores=1,
         capacity_scale=capacity_scale,
         warmup_fraction=warmup_fraction,
+        machine=machine,
     )
     specs = {
         "baseline": JobSpec(**common),

@@ -16,12 +16,18 @@ import dataclasses
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common import machine as machine_mod
 from repro.common.errors import ConfigurationError
 from repro.designs.registry import ALL_DESIGN_NAMES
 from repro.harness.artifacts import job_metrics
 from repro.harness.jobs import JobResult, JobSpec, infer_workload_kind
 from repro.harness.runner import Harness
-from repro.campaign.spec import FACTOR_FIELDS, CampaignSpec, Cell
+from repro.campaign.spec import (
+    FACTOR_FIELDS,
+    CampaignSpec,
+    Cell,
+    is_machine_name,
+)
 
 #: Per-cell, per-repetition metric samples: the reduction input shared
 #: by live runs and artifact replays.  ``results[cell_index][rep]`` is
@@ -42,12 +48,27 @@ class CampaignJob:
 
 def _job_spec(campaign: CampaignSpec, cell: Cell, repetition: int,
               ) -> JobSpec:
-    """Build the harness job for one (cell, repetition)."""
+    """Build the harness job for one (cell, repetition).
+
+    Machine-layer names -- ``"preset"`` and dotted override paths --
+    are collected into the job's :class:`MachineSpec` instead of
+    mapping to a JobSpec field, so a study can vary any SystemConfig
+    knob without the harness growing a scalar per knob.
+    """
     kwargs: Dict[str, object] = {}
-    for name, value in campaign.fixed:
-        kwargs[FACTOR_FIELDS[name]] = value
-    for name, value in cell.assignment:
-        kwargs[FACTOR_FIELDS[name]] = value
+    preset = machine_mod.DEFAULT_PRESET
+    overrides: Dict[str, object] = {}
+    for name, value in (*campaign.fixed, *cell.assignment):
+        if name == "preset":
+            preset = str(value)
+        elif is_machine_name(name):
+            overrides[name] = value
+        else:
+            kwargs[FACTOR_FIELDS[name]] = value
+    if preset != machine_mod.DEFAULT_PRESET or overrides:
+        kwargs["machine"] = machine_mod.MachineSpec(
+            preset=preset, overrides=overrides
+        )
     design = kwargs.get("design")
     if design is None:
         raise ConfigurationError(
@@ -169,19 +190,25 @@ def _spec_identity(spec: JobSpec) -> str:
 
 
 def results_from_artifact(campaign: CampaignSpec, path: str,
-                          ) -> Tuple[List[CampaignJob], CellResults]:
+                          ) -> Tuple[List[CampaignJob], CellResults, int]:
     """Re-associate a prior run's artifact rows with the campaign grid.
 
-    Returns the expansion plus the reduction input recovered from
-    ``status=="ok"`` rows.  Rows that match no expanded job (edited
-    study, foreign artifact) are ignored; the caller can diff
-    ``len(jobs) * repetitions`` against the recovered count to report
-    missing points.  The last row per job wins, so chained resume
-    artifacts reduce correctly.
+    Returns ``(jobs, results, dropped_unknown)``: the expansion, the
+    reduction input recovered from ``status=="ok"`` rows, and the
+    count of rows refused because their spec dict carried keys this
+    build does not know.  Such rows were written by a different schema;
+    parsing them as a *narrower* job (the old silent-drop behaviour)
+    would file a foreign result under the wrong cell, so they are
+    skipped and counted instead -- the caller should surface the count.
+    Rows that match no expanded job (edited study, foreign artifact)
+    are ignored; the caller can diff ``len(jobs) * repetitions``
+    against the recovered count to report missing points.  The last
+    row per job wins, so chained resume artifacts reduce correctly.
     """
     jobs = expand(campaign)
     by_identity = {_spec_identity(job.spec): job for job in jobs}
     results: CellResults = {}
+    dropped_unknown = 0
     records = []
     with open(path) as handle:
         for line in handle:
@@ -201,8 +228,12 @@ def results_from_artifact(campaign: CampaignSpec, path: str,
         metrics = record.get("metrics")
         if not isinstance(spec_dict, dict) or not isinstance(metrics, dict):
             continue
+        if JobSpec.unknown_keys(spec_dict):
+            dropped_unknown += 1
+            continue
         try:
-            identity = _spec_identity(JobSpec.from_dict(spec_dict))
+            identity = _spec_identity(JobSpec.from_dict(spec_dict,
+                                                        strict=True))
         except (ConfigurationError, TypeError):
             continue
         job = by_identity.get(identity)
@@ -212,4 +243,4 @@ def results_from_artifact(campaign: CampaignSpec, path: str,
             key: value for key, value in metrics.items()
             if isinstance(value, (int, float))
         }
-    return jobs, results
+    return jobs, results, dropped_unknown

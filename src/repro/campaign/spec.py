@@ -38,12 +38,18 @@ try:  # Python >= 3.11; JSON studies keep 3.10 fully supported.
 except ImportError:  # pragma: no cover - exercised on py3.10 CI only
     tomllib = None
 
+from repro.common import machine as machine_mod
 from repro.common import rng
 from repro.common.errors import ConfigurationError
 
 #: Campaign factor name -> :class:`~repro.harness.jobs.JobSpec` field.
 #: The same namespace serves ``factors`` (varied) and ``fixed``
 #: (held constant); a name may appear in only one of the two.
+#: Beyond these, two extra name forms address the machine-spec layer
+#: (:mod:`repro.common.machine`): ``"preset"`` selects a named machine
+#: preset, and any dotted path (``"dram_cache.gipt_in_package"``,
+#: ``"core.model"``, ...) varies that :class:`SystemConfig` field
+#: directly.  Both are validated at spec load, not at job time.
 FACTOR_FIELDS: Dict[str, str] = {
     "design": "design",
     "workload": "workload",
@@ -61,6 +67,24 @@ FACTOR_FIELDS: Dict[str, str] = {
 #: :func:`repro.harness.artifacts.job_metrics`.
 METRIC_KEYS = ("ipc", "instructions", "elapsed_ms",
                "mean_l3_latency_cycles", "energy_j", "edp_js")
+
+
+def is_machine_name(name: str) -> bool:
+    """True if a factor/fixed name addresses the machine-spec layer."""
+    return name == "preset" or "." in name
+
+
+def _check_machine_level(name: str, value: object) -> None:
+    """Validate one level of a machine factor (raises ConfigurationError)."""
+    if name == "preset":
+        if not isinstance(value, str) or value not in machine_mod.PRESETS:
+            raise ConfigurationError(
+                f"unknown machine preset {value!r}; expected one of "
+                f"{', '.join(sorted(machine_mod.PRESETS))}"
+            )
+    else:
+        # Raises with the full path/type/frozen diagnostics on bad input.
+        machine_mod.coerce_override(name, value)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -127,10 +151,12 @@ class CampaignSpec:
             raise ConfigurationError("campaign needs at least one factor")
         seen = set()
         for factor, levels in self.factors:
-            if factor not in FACTOR_FIELDS:
+            if factor not in FACTOR_FIELDS and not is_machine_name(factor):
                 raise ConfigurationError(
                     f"unknown factor {factor!r}; expected one of "
-                    f"{', '.join(sorted(FACTOR_FIELDS))}"
+                    f"{', '.join(sorted(FACTOR_FIELDS))}, 'preset', or a "
+                    f"dotted machine override path such as "
+                    f"'dram_cache.gipt_in_package'"
                 )
             if factor in seen:
                 raise ConfigurationError(f"duplicate factor {factor!r}")
@@ -143,16 +169,22 @@ class CampaignSpec:
                 raise ConfigurationError(
                     f"factor {factor!r} has duplicate levels"
                 )
-        for name, _value in self.fixed:
-            if name not in FACTOR_FIELDS:
+            if is_machine_name(factor):
+                for level in levels:
+                    _check_machine_level(factor, level)
+        for name, value in self.fixed:
+            if name not in FACTOR_FIELDS and not is_machine_name(name):
                 raise ConfigurationError(
                     f"unknown fixed setting {name!r}; expected one of "
-                    f"{', '.join(sorted(FACTOR_FIELDS))}"
+                    f"{', '.join(sorted(FACTOR_FIELDS))}, 'preset', or a "
+                    f"dotted machine override path"
                 )
             if name in seen:
                 raise ConfigurationError(
                     f"{name!r} appears in both factors and fixed"
                 )
+            if is_machine_name(name):
+                _check_machine_level(name, value)
         for metric in self.metrics:
             if metric not in METRIC_KEYS:
                 raise ConfigurationError(

@@ -3,14 +3,15 @@
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
 from typing import List, Optional
 
 from repro.analysis import experiments
-from repro.common.config import default_system
 from repro.common.errors import ConfigurationError
+from repro.common.machine import MachineSpec, build_system
 from repro.cpu.batched import ENGINE_MODES
 from repro.cpu.multicore import BoundTrace
 from repro.cpu.simulator import Simulator
@@ -32,6 +33,41 @@ from repro.workloads.mixes import MIX_ORDER, MIXES, mix_traces
 from repro.workloads.parsec import PARSEC_ORDER, PARSEC_PROFILES
 from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES
 from repro.workloads.trace import save_trace
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Machine-spec flags shared by run/experiment/sweep/campaign run."""
+    parser.add_argument("--machine", dest="machine_file", default=None,
+                        metavar="FILE",
+                        help="machine spec file (.json or .toml): a named "
+                             "preset plus dotted-path SystemConfig "
+                             "overrides (see EXPERIMENTS.md)")
+    parser.add_argument("--set", dest="machine_sets", action="append",
+                        default=[], metavar="PATH=VALUE",
+                        help="override one SystemConfig field by dotted "
+                             "path, e.g. dram_cache.gipt_in_package=true "
+                             "or core.model=window; repeatable, applied "
+                             "after --machine")
+
+
+def _machine_from_args(args: argparse.Namespace) -> MachineSpec:
+    """Resolve ``--machine``/``--set`` into a validated MachineSpec."""
+    machine_file = getattr(args, "machine_file", None)
+    try:
+        if machine_file is not None:
+            machine = MachineSpec.from_file(machine_file)
+        else:
+            machine = MachineSpec()
+        assignments = getattr(args, "machine_sets", None) or []
+        if assignments:
+            machine = machine.with_assignments(assignments)
+        return machine
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot read machine spec {machine_file}: {exc}"
+        ) from None
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
@@ -168,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution engine: scalar (per-access loop) or "
                           "batched (fused kernels; bit-identical, "
                           "faster).  Default: $REPRO_ENGINE, else scalar")
+    _add_machine_arguments(run)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -184,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--artifact", default=None,
                             help="JSONL run-record path (default: a "
                                  "timestamped file under <cache-dir>/runs)")
+    _add_machine_arguments(experiment)
     _add_harness_arguments(experiment)
 
     sweep = sub.add_parser(
@@ -213,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--validate", action="store_true",
                        help="run every job with the repro.validate "
                             "invariant checker installed")
+    _add_machine_arguments(sweep)
     _add_harness_arguments(sweep)
 
     campaign = sub.add_parser(
@@ -270,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
              "schema-validate the JSON report (exit non-zero on any "
              "problem)"
     )
+    _add_machine_arguments(campaign_run)
     _campaign_exec_arguments(campaign_run)
 
     campaign_resume = campaign_sub.add_parser(
@@ -441,7 +481,7 @@ def _trace_capture(args: argparse.Namespace) -> int:
     if args.interval < 1:
         raise SystemExit("--interval must be >= 1")
     accesses = args.accesses if args.accesses is not None else 20_000
-    config = default_system(
+    config = build_system(
         cache_megabytes=args.cache_mb,
         num_cores=4 if args.workload in MIXES else 1,
         replacement=args.replacement,
@@ -547,7 +587,7 @@ def _trace_smoke(args: argparse.Namespace) -> int:
         designs = (args.target,)
     workload = args.workload or "mcf"
     accesses = args.accesses if args.accesses is not None else 2000
-    config = default_system(
+    config = build_system(
         cache_megabytes=args.cache_mb,
         num_cores=4 if workload in MIXES else 1,
         replacement=args.replacement,
@@ -624,6 +664,7 @@ def _run_supervised(args: argparse.Namespace):
             warmup_fraction=args.warmup,
             timeout_s=args.timeout,
             engine=args.engine,
+            machine=_machine_from_args(args),
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -648,12 +689,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.timeout is not None or args.retries > 0:
         result = _run_supervised(args)
     else:
-        config = default_system(
-            cache_megabytes=args.cache_mb,
-            num_cores=4 if args.workload in MIXES else 1,
-            replacement=args.replacement,
-            capacity_scale=args.scale,
-        )
+        machine = _machine_from_args(args)
+        try:
+            config = build_system(
+                machine=machine,
+                cache_megabytes=args.cache_mb,
+                num_cores=4 if args.workload in MIXES else 1,
+                replacement=args.replacement,
+                capacity_scale=args.scale,
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
         bindings = _bindings_for(args.workload, args.accesses, args.scale)
 
         if args.trace_out or args.timeseries_out:
@@ -678,6 +724,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         "energy_j": result.total_energy_j,
         "edp_js": result.edp,
     }
+    machine_spec = _machine_from_args(args)
+    if not machine_spec.is_default:
+        # Key appears only when the machine was customised, so default
+        # invocations keep byte-identical output.
+        metrics["machine"] = machine_spec.to_dict()
     if telemetry is not None:
         # Keys appear only when capture was requested, so the default
         # output stays byte-identical.
@@ -783,6 +834,7 @@ def _finish_harness(harness: Harness) -> None:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     accesses = args.accesses
+    machine = _machine_from_args(args)
     if args.engine is not None:
         # The figure runners build their JobSpecs internally; the
         # environment default reaches them (and forked workers) without
@@ -793,6 +845,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         if args.figure == "fig7":
             result = experiments.run_single_programmed(
                 accesses=accesses or experiments.DEFAULT_ACCESSES,
+                machine=machine,
                 harness=harness,
             )
             tables = [result.ipc_table(), result.edp_table()]
@@ -800,36 +853,42 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             result = experiments.run_single_programmed(
                 accesses=accesses or experiments.DEFAULT_ACCESSES,
                 designs=("no-l3", "sram", "tagless"),
+                machine=machine,
                 harness=harness,
             )
             tables = [result.l3_latency_table()]
         elif args.figure == "fig9":
             result = experiments.run_multi_programmed(
                 accesses=accesses or experiments.DEFAULT_MIX_ACCESSES,
+                machine=machine,
                 harness=harness,
             )
             tables = [result.ipc_table(), result.edp_table()]
         elif args.figure == "fig10":
             result = experiments.run_cache_size_sweep(
                 accesses=accesses or experiments.DEFAULT_MIX_ACCESSES,
+                machine=machine,
                 harness=harness,
             )
             tables = [result.table()]
         elif args.figure == "fig11":
             result = experiments.run_replacement_study(
                 accesses=accesses or 140_000,
+                machine=machine,
                 harness=harness,
             )
             tables = [result.table()]
         elif args.figure == "fig12":
             result = experiments.run_parsec(
                 accesses=accesses or experiments.DEFAULT_MIX_ACCESSES,
+                machine=machine,
                 harness=harness,
             )
             tables = [result.ipc_table(), result.edp_table()]
         elif args.figure == "fig13":
             result = experiments.run_noncacheable_study(
                 accesses=accesses or experiments.DEFAULT_ACCESSES,
+                machine=machine,
                 harness=harness,
             )
             tables = [result.table()]
@@ -852,6 +911,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     specs: List[JobSpec] = []
+    machine = _machine_from_args(args)
     try:
         for design in args.designs:
             for workload in args.workloads:
@@ -869,6 +929,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         warmup_fraction=args.warmup,
                         validate=args.validate,
                         engine=args.engine,
+                        machine=machine,
                     ))
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -1079,6 +1140,41 @@ def _campaign_execute(spec, out_dir: str, args: argparse.Namespace,
     return 1 if counters["errors"] else 0
 
 
+def _merge_machine_into_campaign(spec, machine: MachineSpec):
+    """Fold ``--machine``/``--set`` into a campaign spec's fixed settings.
+
+    The merged names join the spec's namespace, so they change its
+    ``spec_hash`` (a customised machine is a different study) and are
+    validated by the :class:`CampaignSpec` constructor like any other
+    fixed setting.  Conflicts with the study's own factors or fixed
+    settings are refused rather than silently resolved.
+    """
+    if machine.is_default:
+        return spec
+    additions = []
+    if machine.preset != MachineSpec().preset:
+        additions.append(("preset", machine.preset))
+    # Explicit overrides only: the preset name above already carries
+    # its bundle, so expanding effective_overrides() here would
+    # double-apply it.
+    additions.extend(machine.overrides)
+    taken = ({name for name, _levels in spec.factors}
+             | {name for name, _value in spec.fixed})
+    conflicts = sorted(name for name, _value in additions if name in taken)
+    if conflicts:
+        raise SystemExit(
+            f"--machine/--set would override study settings already "
+            f"declared by {spec.name!r}: {', '.join(conflicts)}; edit "
+            f"the study file instead"
+        )
+    try:
+        return dataclasses.replace(
+            spec, fixed=spec.fixed + tuple(additions)
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     import os
     import tempfile
@@ -1087,6 +1183,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.campaign_command == "run":
         spec = _campaign_spec(args)
+        spec = _merge_machine_into_campaign(spec, _machine_from_args(args))
         if args.out is not None:
             out_dir = args.out
         elif args.smoke:
@@ -1124,11 +1221,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     artifact_path = os.path.join(args.dir, "jobs.jsonl")
     try:
-        _jobs, results = results_from_artifact(spec, artifact_path)
+        _jobs, results, dropped = results_from_artifact(spec, artifact_path)
     except OSError as exc:
         raise SystemExit(
             f"cannot read artifact {artifact_path}: {exc}"
         ) from None
+    if dropped:
+        print(f"warning: skipped {dropped} artifact rows whose specs "
+              f"carry keys unknown to this build (written by a newer "
+              f"schema?); they cannot be re-associated safely",
+              file=sys.stderr)
     report = reduce_campaign(spec, results)
     paths = write_reports(report, args.dir)
     if args.json:
@@ -1165,7 +1267,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         raise SystemExit("--warmup must be in [0, 1)")
     if args.top < 1:
         raise SystemExit("--top must be >= 1")
-    config = default_system(
+    config = build_system(
         cache_megabytes=args.cache_mb,
         num_cores=4 if args.workload in MIXES else 1,
         replacement=args.replacement,
@@ -1295,7 +1397,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     # high -- the same shape the golden-stats fixtures pin -- so the
     # invariants see the interesting transitions, not a half-empty cache.
     config = _dc.replace(
-        default_system(cache_megabytes=128, num_cores=1, capacity_scale=512),
+        build_system(cache_megabytes=128, num_cores=1, capacity_scale=512),
         tlb_scale=32,
     )
     profile = _profile_for(args.workload)

@@ -49,8 +49,6 @@ class CoreConfig:
     #: Memory-level-parallelism divisor: overlapping outstanding misses
     #: means only ``latency / mlp`` cycles of a miss stall the core.
     mlp: float = 2.0
-    l1_hit_cycles: int = 2
-    l2_hit_cycles: int = 6
     #: Core timing model: "mlp" (the default divisor model every figure
     #: is calibrated with) or "window" (a Karkhanis/Smith-style interval
     #: model where the ROB hides latency and overlapping misses share
@@ -62,6 +60,17 @@ class CoreConfig:
     #: common-case L3 latency on every access, which real dependent
     #: instruction streams cannot do.
     rob_entries: int = 96
+
+    def __post_init__(self) -> None:
+        if self.model not in ("mlp", "window"):
+            raise ConfigurationError(
+                f"unknown core model {self.model!r}; "
+                "expected 'mlp' or 'window'"
+            )
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("frequency_ghz must be positive")
+        if self.rob_entries < 1:
+            raise ConfigurationError("rob_entries must be >= 1")
 
     def cycles_from_ns(self, ns: float) -> float:
         """Convert a nanosecond latency into core clock cycles."""
@@ -103,6 +112,10 @@ class OnDieCacheConfig:
     capacity_bytes: int
     associativity: int
     line_bytes: int = CACHE_LINE_BYTES
+    #: Access latency of a hit in this level, core cycles.  This is the
+    #: *authoritative* source the timing models read (the hot paths of
+    #: :mod:`repro.designs.base` and :mod:`repro.cpu.batched`, and the
+    #: L1-pipelining threshold of :mod:`repro.cpu.core_model`).
     hit_cycles: int = 2
 
     def __post_init__(self) -> None:
@@ -112,6 +125,8 @@ class OnDieCacheConfig:
                 f"line_bytes*associativity = "
                 f"{self.line_bytes * self.associativity}"
             )
+        if self.hit_cycles < 1:
+            raise ConfigurationError("hit_cycles must be >= 1")
 
     @property
     def num_lines(self) -> int:
@@ -190,6 +205,12 @@ class DRAMEnergyConfig:
         bits = num_bytes * 8
         per_bit = (self.io_pj_per_bit + self.rw_pj_per_bit) * bits / 1000.0
         return per_bit + activations * self.act_pre_nj
+
+
+#: Smallest scaled DRAM-cache size (pages) the simulator accepts.
+#: Below this, burst locality no longer resembles the full-size machine
+#: and distinct nominal configurations would collapse onto one model.
+MIN_CACHE_PAGES = 16
 
 
 #: Table 6 of the paper: DRAM cache size -> (tag SRAM MB, access cycles).
@@ -382,22 +403,61 @@ class SystemConfig:
     #: Scale factor for L2 TLB entries (the L1 TLB keeps its 32 entries).
     tlb_scale: int = 8
 
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError("num_cores must be >= 1")
+        if (self.capacity_scale < 1 or self.ondie_scale < 1
+                or self.tlb_scale < 1):
+            raise ConfigurationError(
+                "capacity_scale, ondie_scale and tlb_scale must be >= 1"
+            )
+        # Refuse configurations where the scaled structures would have
+        # to be clamped to stay simulable.  A silent floor (the old
+        # ``max(16, pages)``) let two sweep points with different
+        # ``cache_megabytes``/``capacity_scale`` simulate the *same*
+        # machine while being reported -- and cached -- as distinct
+        # results.
+        pages = self.dram_cache.nominal_capacity_bytes // (
+            self.dram_cache.page_bytes * self.capacity_scale
+        )
+        if pages < MIN_CACHE_PAGES:
+            raise ConfigurationError(
+                f"capacity_scale={self.capacity_scale} shrinks the "
+                f"{self.dram_cache.nominal_capacity_bytes // BYTES_PER_MB}"
+                f" MB DRAM cache to {pages} pages, below the "
+                f"{MIN_CACHE_PAGES}-page simulation floor; lower "
+                f"capacity_scale or enlarge the cache so distinct sweep "
+                f"points describe distinct machines"
+            )
+        off_pages = self.off_package_bytes // (
+            PAGE_BYTES * self.capacity_scale
+        )
+        if off_pages < pages * 2:
+            raise ConfigurationError(
+                f"off-package DRAM scales to {off_pages} pages, fewer "
+                f"than twice the {pages}-page DRAM cache; enlarge "
+                f"off_package_bytes or shrink the cache (the workloads "
+                f"assume backing memory strictly larger than the cache)"
+            )
+
     # ------------------------------------------------------------------
     # Scaled views used by the simulator
     # ------------------------------------------------------------------
     @property
     def cache_pages(self) -> int:
-        """DRAM-cache capacity in pages after applying capacity_scale."""
-        pages = self.dram_cache.nominal_capacity_bytes // (
+        """DRAM-cache capacity in pages after applying capacity_scale.
+
+        Construction-time validation guarantees the result is at least
+        :data:`MIN_CACHE_PAGES` -- no silent clamping happens here.
+        """
+        return self.dram_cache.nominal_capacity_bytes // (
             self.dram_cache.page_bytes * self.capacity_scale
         )
-        return max(16, pages)
 
     @property
     def off_package_pages(self) -> int:
-        """Off-package DRAM capacity in pages after scaling."""
-        pages = self.off_package_bytes // (PAGE_BYTES * self.capacity_scale)
-        return max(self.cache_pages * 2, pages)
+        """Off-package DRAM capacity in pages after scaling (>= 2x cache)."""
+        return self.off_package_bytes // (PAGE_BYTES * self.capacity_scale)
 
     @property
     def scaled_l1(self) -> OnDieCacheConfig:
@@ -466,7 +526,8 @@ def default_system(
     num_cores:
         Active cores (1 for single-programmed runs, 4 otherwise).
     replacement:
-        Tagless victim policy, ``"fifo"`` or ``"lru"`` (Figure 11).
+        Tagless victim policy: ``"fifo"`` (default), ``"lru"``
+        (Figure 11) or ``"clock"`` (the Section 5.2 approximation).
     capacity_scale:
         Uniform shrink factor for cache capacity and footprints.
     """

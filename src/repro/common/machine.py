@@ -1,0 +1,376 @@
+"""Declarative machine specifications: preset + validated overrides.
+
+Every knob of :class:`~repro.common.config.SystemConfig` -- ~40 fields
+spread over nested dataclasses -- is addressable here by a *dotted
+path* (``"dram_cache.gipt_in_package"``, ``"core.model"``,
+``"tlb.walk_cycles"``).  A :class:`MachineSpec` names a preset plus a
+mapping of such overrides, and is the single way the harness, the
+campaign compiler and the CLI describe a non-default machine:
+
+- **validated**: unknown paths, wrong value types, and paths owned by
+  the job layer (:data:`FROZEN_PATHS`) are rejected at construction,
+  not at simulation time;
+- **serializable**: round-trips through JSON (and TOML study files)
+  via :meth:`MachineSpec.to_dict` / :meth:`MachineSpec.from_dict`;
+- **stable**: overrides are canonicalised (sorted, type-coerced) so
+  :meth:`MachineSpec.spec_hash` -- and therefore the harness cache key
+  it folds into -- never depends on key order or ``1`` vs ``1.0``;
+- **composable**: a preset is itself just a named override bundle, and
+  user overrides layer on top of it.
+
+The default spec (``MachineSpec()``) resolves to *exactly* the machine
+:func:`repro.common.config.default_system` builds, which is what keeps
+pre-existing cache keys and golden statistics byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+try:  # Python >= 3.11; JSON machine files keep 3.10 fully supported.
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on py3.10 CI only
+    tomllib = None
+
+from repro.common.config import SystemConfig, default_system
+from repro.common.errors import ConfigurationError
+
+#: Named machine presets: each is an override bundle layered onto the
+#: Table 3 defaults.  ``"table3"`` is the paper machine itself.
+PRESETS: Dict[str, Mapping[str, object]] = {
+    "table3": {},
+    #: Karkhanis/Smith-style interval core instead of the MLP divisor.
+    "window-core": {"core.model": "window"},
+    #: Section 3.2 ablation: the GIPT lives in the in-package DRAM.
+    "gipt-in-package": {"dram_cache.gipt_in_package": True},
+}
+
+#: Default preset name (the paper's Table 3 machine).
+DEFAULT_PRESET = "table3"
+
+#: Dotted paths a machine spec may *not* override, and why:
+#: the first four are owned by the job/factor layer (``JobSpec``'s
+#: ``cache_megabytes``/``replacement``/``num_cores``/``capacity_scale``
+#: fields -- overriding them here would let one sweep point describe
+#: two different machines); the last three are welded to module-level
+#: address-geometry constants (``PAGE_BYTES``, ``CACHE_LINE_BYTES``,
+#: ``LINES_PER_PAGE``) that a config override cannot reach.
+FROZEN_PATHS: Dict[str, str] = {
+    "dram_cache.nominal_capacity_bytes":
+        "owned by JobSpec.cache_megabytes / the cache_mb factor",
+    "dram_cache.replacement":
+        "owned by JobSpec.replacement / the replacement factor",
+    "num_cores": "owned by JobSpec.num_cores / the cores factor",
+    "capacity_scale": "owned by JobSpec.capacity_scale / the scale factor",
+    "dram_cache.page_bytes":
+        "welded to the PAGE_BYTES addressing constant",
+    "l1.line_bytes": "welded to the CACHE_LINE_BYTES addressing constant",
+    "l2.line_bytes": "welded to the CACHE_LINE_BYTES addressing constant",
+}
+
+#: Template used for path/type validation (never mutated).
+_TEMPLATE = SystemConfig()
+
+
+def iter_override_paths() -> Iterable[str]:
+    """Yield every legal dotted override path, sorted (docs and errors)."""
+    paths = []
+
+    def _walk(node: object, prefix: str) -> None:
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            path = f"{prefix}{field.name}"
+            if dataclasses.is_dataclass(value):
+                _walk(value, f"{path}.")
+            elif path not in FROZEN_PATHS:
+                paths.append(path)
+
+    _walk(_TEMPLATE, "")
+    return sorted(paths)
+
+
+def _default_at(path: str) -> object:
+    """The template's value at ``path``; raises on unknown paths."""
+    node: object = _TEMPLATE
+    parts = path.split(".")
+    for index, part in enumerate(parts):
+        if not dataclasses.is_dataclass(node):
+            parent = ".".join(parts[:index])
+            raise ConfigurationError(
+                f"bad override path {path!r}: {parent!r} is a value, "
+                f"not a config section"
+            )
+        names = {field.name for field in dataclasses.fields(node)}
+        if part not in names:
+            parent = ".".join(parts[:index]) or "the machine config"
+            raise ConfigurationError(
+                f"unknown override path {path!r}: {parent} has no field "
+                f"{part!r} (fields: {', '.join(sorted(names))})"
+            )
+        node = getattr(node, part)
+    if dataclasses.is_dataclass(node):
+        sub = ", ".join(f"{path}.{f.name}"
+                        for f in dataclasses.fields(node))
+        raise ConfigurationError(
+            f"{path!r} names a config section, not a value; override "
+            f"one of its fields instead ({sub})"
+        )
+    return node
+
+
+def coerce_override(path: str, value: object) -> object:
+    """Validate ``path`` and coerce ``value`` to the field's type.
+
+    Types are inferred from the Table 3 template: bool fields require
+    bools (ints are *not* accepted -- ``1`` for ``gipt_in_package`` is
+    almost always a typo), int fields require ints, float fields accept
+    ints and canonicalise them to float so hashing is stable, string
+    fields require strings.  Frozen paths are rejected with the reason.
+    """
+    reason = FROZEN_PATHS.get(path)
+    if reason is not None:
+        raise ConfigurationError(
+            f"override path {path!r} is frozen: {reason}"
+        )
+    default = _default_at(path)
+    if isinstance(default, bool):
+        if isinstance(value, bool):
+            return value
+        raise ConfigurationError(
+            f"override {path!r} expects a bool, got {value!r}"
+        )
+    if isinstance(default, int):
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        raise ConfigurationError(
+            f"override {path!r} expects an int, got {value!r}"
+        )
+    if isinstance(default, float):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        raise ConfigurationError(
+            f"override {path!r} expects a number, got {value!r}"
+        )
+    if isinstance(default, str):
+        if isinstance(value, str):
+            return value
+        raise ConfigurationError(
+            f"override {path!r} expects a string, got {value!r}"
+        )
+    raise ConfigurationError(  # pragma: no cover - no such field today
+        f"override {path!r} has unsupported type "
+        f"{type(default).__name__}"
+    )
+
+
+def parse_assignment(text: str) -> Tuple[str, object]:
+    """Parse one CLI ``--set PATH=VALUE`` argument.
+
+    The value is read as JSON when possible (``true``, ``3``, ``1.5``)
+    and as a bare string otherwise (``window``), then type-checked
+    against the field at ``PATH``.
+    """
+    path, sep, raw = text.partition("=")
+    path = path.strip()
+    raw = raw.strip()
+    if not sep or not path or not raw:
+        raise ConfigurationError(
+            f"--set expects PATH=VALUE (e.g. core.model=window), "
+            f"got {text!r}"
+        )
+    try:
+        value: object = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return path, coerce_override(path, value)
+
+
+def _apply(node: object, overrides: Mapping[str, object]) -> object:
+    """Apply dotted overrides to a (possibly nested) config dataclass."""
+    direct: Dict[str, object] = {}
+    nested: Dict[str, Dict[str, object]] = {}
+    for path, value in overrides.items():
+        head, _, rest = path.partition(".")
+        if rest:
+            nested.setdefault(head, {})[rest] = value
+        else:
+            direct[head] = value
+    for head, sub in nested.items():
+        direct[head] = _apply(getattr(node, head), sub)
+    return dataclasses.replace(node, **direct)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """A named preset plus a canonicalised override mapping.
+
+    ``overrides`` accepts a mapping or an iterable of ``(path, value)``
+    pairs and is normalised to a sorted tuple of validated pairs, so
+    two specs built from differently-ordered inputs compare, hash and
+    serialize identically.
+    """
+
+    preset: str = DEFAULT_PRESET
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.preset not in PRESETS:
+            raise ConfigurationError(
+                f"unknown machine preset {self.preset!r}; expected one "
+                f"of {', '.join(sorted(PRESETS))}"
+            )
+        raw = self.overrides
+        items: Iterable[Tuple[object, object]]
+        if raw is None:
+            items = ()
+        elif isinstance(raw, Mapping):
+            items = raw.items()
+        else:
+            items = tuple(raw)
+        normalized = []
+        seen = set()
+        for path, value in items:
+            path = str(path)
+            if path in seen:
+                raise ConfigurationError(f"duplicate override {path!r}")
+            seen.add(path)
+            normalized.append((path, coerce_override(path, value)))
+        object.__setattr__(self, "overrides", tuple(sorted(normalized)))
+        # Eager value validation: resolving against the template runs
+        # every nested config's __post_init__ checks (geometry, policy
+        # names, scaling floors), so a bad override fails here -- at
+        # spec construction -- not deep inside a worker process.
+        if self.effective_overrides():
+            self.resolve(_TEMPLATE)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_default(self) -> bool:
+        """True when resolution is the identity (the Table 3 machine).
+
+        Semantic, not syntactic: a spec that *explicitly* pins fields
+        to their Table 3 values (a campaign's baseline level, say) is
+        still the default machine and addresses the same cached
+        results.  This is sound because every job-owned field is a
+        frozen path -- a legal override can never name a field whose
+        base value varies across jobs.
+        """
+        if self.preset == DEFAULT_PRESET and not self.overrides:
+            return True
+        return all(_default_at(path) == value
+                   for path, value in self.effective_overrides().items())
+
+    def effective_overrides(self) -> Dict[str, object]:
+        """Preset bundle with user overrides layered on top, sorted."""
+        merged = dict(PRESETS[self.preset])
+        merged.update(self.overrides)
+        return dict(sorted(merged.items()))
+
+    def resolve(self, base: SystemConfig) -> SystemConfig:
+        """Apply this spec's overrides to ``base``.
+
+        The default spec returns ``base`` unchanged (same object), so
+        legacy configurations stay bit-identical.
+        """
+        merged = self.effective_overrides()
+        if not merged:
+            return base
+        return _apply(base, merged)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-safe form (overrides sorted by path)."""
+        return {
+            "preset": self.preset,
+            "overrides": dict(self.overrides),
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON text: the hashing and cache-key input."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit digest of the canonical form."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()[:16]
+
+    def with_assignments(self, assignments: Sequence[str]) -> "MachineSpec":
+        """A new spec with CLI ``PATH=VALUE`` strings merged in (last wins)."""
+        merged = dict(self.overrides)
+        for text in assignments:
+            path, value = parse_assignment(text)
+            merged[path] = value
+        return MachineSpec(preset=self.preset,
+                           overrides=tuple(merged.items()))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MachineSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError("machine spec must be a mapping")
+        unknown = sorted(set(data) - {"preset", "overrides"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown machine spec keys: {', '.join(unknown)}"
+            )
+        overrides = data.get("overrides", {})
+        if not isinstance(overrides, Mapping):
+            raise ConfigurationError(
+                "machine 'overrides' must be a mapping of path -> value"
+            )
+        return cls(preset=str(data.get("preset", DEFAULT_PRESET)),
+                   overrides=tuple(overrides.items()))
+
+    @classmethod
+    def from_file(cls, path: str) -> "MachineSpec":
+        """Load a machine spec from a ``.json`` or ``.toml`` file."""
+        if path.endswith(".toml"):
+            if tomllib is None:
+                raise ConfigurationError(
+                    "TOML machine files need Python >= 3.11 (tomllib); "
+                    "use the JSON form on this interpreter"
+                )
+            with open(path, "rb") as handle:
+                data = tomllib.load(handle)
+        else:
+            with open(path) as handle:
+                try:
+                    data = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{path} is not valid JSON: {exc}"
+                    ) from None
+        return cls.from_dict(data)
+
+
+#: The Table 3 machine: what every job simulates unless told otherwise.
+DEFAULT_MACHINE = MachineSpec()
+
+
+def build_system(
+    machine: Optional[MachineSpec] = None,
+    cache_megabytes: int = 1024,
+    num_cores: int = 4,
+    replacement: str = "fifo",
+    capacity_scale: int = 64,
+) -> SystemConfig:
+    """The single resolution path from (job knobs, machine spec) to config.
+
+    Job-owned scalars go through :func:`default_system` exactly as
+    before; the machine spec's overrides are then layered on top.  With
+    the default machine this is byte-for-byte ``default_system(...)``.
+    """
+    base = default_system(
+        cache_megabytes=cache_megabytes,
+        num_cores=num_cores,
+        replacement=replacement,
+        capacity_scale=capacity_scale,
+    )
+    return (machine or DEFAULT_MACHINE).resolve(base)
+
+
+def system_config_to_dict(config: SystemConfig) -> Dict[str, object]:
+    """Flatten a resolved config into a nested plain dict (provenance)."""
+    return dataclasses.asdict(config)

@@ -182,9 +182,8 @@ def _run_generic_kernel(design: MemorySystemDesign, state, *,
     pending_wb = ondie.pending_writebacks
     route_writebacks = design._route_writebacks
 
-    core_cfg = design.core_cfg
-    l1_hit_cycles = core_cfg.l1_hit_cycles
-    l2_hit_cycles = core_cfg.l2_hit_cycles
+    l1_hit_cycles = design._l1_hit_cycles
+    l2_hit_cycles = design._l2_hit_cycles
     lines_per_page = LINES_PER_PAGE
 
     n_acc = 0
@@ -491,8 +490,8 @@ def _run_tagless_kernel(design: TaglessDesign, state, *,
     gd_act_nj = gd.energy.config.act_pre_nj
 
     core_cfg = design.core_cfg
-    l1_hit_cycles = core_cfg.l1_hit_cycles
-    l2_hit_cycles = core_cfg.l2_hit_cycles
+    l1_hit_cycles = design._l1_hit_cycles
+    l2_hit_cycles = design._l2_hit_cycles
     freq = core_cfg.frequency_ghz
     lines_per_page = LINES_PER_PAGE
 

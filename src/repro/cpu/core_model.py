@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from repro.common.config import CoreConfig
 
+#: L1 hit latency assumed when a model is built from a bare CoreConfig
+#: (tests, standalone use).  The simulator always passes the system's
+#: ``l1.hit_cycles``; this default merely mirrors the Table 3 value.
+DEFAULT_L1_HIT_CYCLES = 2.0
+
 
 class CoreTimingModel:
     """Accumulates cycles and instructions for one core."""
@@ -29,7 +34,8 @@ class CoreTimingModel:
         "_cycle_ns",
     )
 
-    def __init__(self, config: CoreConfig, base_cpi: float, mlp: float):
+    def __init__(self, config: CoreConfig, base_cpi: float, mlp: float,
+                 l1_hit_cycles: float = DEFAULT_L1_HIT_CYCLES):
         if base_cpi <= 0 or mlp < 1.0:
             raise ValueError(
                 f"base_cpi must be positive and mlp >= 1, got "
@@ -41,7 +47,11 @@ class CoreTimingModel:
         self.cycles = 0.0
         self.instructions = 0
         self.stall_cycles = 0.0
-        self._l1_hit = float(config.l1_hit_cycles)
+        #: Pipelined L1 hit latency: accesses at or below it stall
+        #: nothing.  Sourced from ``OnDieCacheConfig.hit_cycles`` (the
+        #: caller passes ``config.l1.hit_cycles``); CoreConfig carries
+        #: no duplicate.
+        self._l1_hit = float(l1_hit_cycles)
         self._cycle_ns = 1.0 / config.frequency_ghz
 
     def advance_instructions(self, count: int) -> None:
@@ -92,8 +102,9 @@ class WindowCoreTimingModel(CoreTimingModel):
 
     __slots__ = ("rob_entries", "_hide_cycles", "_shadow_end")
 
-    def __init__(self, config: CoreConfig, base_cpi: float, mlp: float):
-        super().__init__(config, base_cpi, mlp)
+    def __init__(self, config: CoreConfig, base_cpi: float, mlp: float,
+                 l1_hit_cycles: float = DEFAULT_L1_HIT_CYCLES):
+        super().__init__(config, base_cpi, mlp, l1_hit_cycles)
         self.rob_entries = config.rob_entries
         #: Latency one miss can hide while the window drains behind it.
         self._hide_cycles = self.rob_entries * base_cpi
@@ -124,13 +135,14 @@ class WindowCoreTimingModel(CoreTimingModel):
 
 
 def make_core_model(
-    config: CoreConfig, base_cpi: float, mlp: float
+    config: CoreConfig, base_cpi: float, mlp: float,
+    l1_hit_cycles: float = DEFAULT_L1_HIT_CYCLES,
 ) -> CoreTimingModel:
     """Instantiate the configured core timing model."""
     if config.model == "mlp":
-        return CoreTimingModel(config, base_cpi, mlp)
+        return CoreTimingModel(config, base_cpi, mlp, l1_hit_cycles)
     if config.model == "window":
-        return WindowCoreTimingModel(config, base_cpi, mlp)
+        return WindowCoreTimingModel(config, base_cpi, mlp, l1_hit_cycles)
     raise ValueError(
         f"unknown core model {config.model!r}; expected 'mlp' or 'window'"
     )

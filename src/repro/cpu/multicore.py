@@ -170,7 +170,8 @@ def run_interleaved(
             lines = lines[:max_accesses]
             writes = writes[:max_accesses]
             gaps = gaps[:max_accesses]
-        model = make_core_model(core_cfg, trace.base_cpi, trace.mlp)
+        model = make_core_model(core_cfg, trace.base_cpi, trace.mlp,
+                                design.config.l1.hit_cycles)
         states.append(_CoreState(binding, model, pages, lines, writes, gaps))
 
     active = [s for s in states if s.length > 0]

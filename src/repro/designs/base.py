@@ -101,6 +101,13 @@ class MemorySystemDesign:
         # that rebuilds a TLBConfig (dataclasses.replace) on every read.
         self._tlb_l2_hit_cycles = float(scaled_tlb.l2_hit_cycles)
 
+        # On-die hit latencies come from the cache configs themselves
+        # (OnDieCacheConfig.hit_cycles is the single source of truth;
+        # tests/common/test_config.py locks the absence of a duplicate
+        # on CoreConfig).
+        self._l1_hit_cycles = config.l1.hit_cycles
+        self._l2_hit_cycles = config.l2.hit_cycles
+
         # Observability (repro.obs).  ``trace_event`` is a prebound
         # no-op that installed telemetry rebinds to an EventTracer --
         # the same enable/disable trick ``validate=`` uses -- and it is
@@ -217,7 +224,7 @@ class MemorySystemDesign:
             self._last_ondie_level = "l1"
             self._last_l3_cycles = 0.0
             self._last_l3_involved = False
-            return tlb_cycles + self.core_cfg.l1_hit_cycles
+            return tlb_cycles + self._l1_hit_cycles
 
         # Inlined OnDieHierarchy.access_after_l1_miss and
         # _after_l1_probe_missed: book the L1 miss, probe the fused-LRU
@@ -270,7 +277,7 @@ class MemorySystemDesign:
         l3_cycles = 0.0
         l3_involved = False
         if ondie_level == "l2":
-            cycles += self.core_cfg.l2_hit_cycles
+            cycles += self._l2_hit_cycles
         else:
             l3_involved = True
             # All memory-system requests are issued at the core's issue

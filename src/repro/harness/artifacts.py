@@ -17,6 +17,7 @@ import os
 import time
 from typing import Dict, List, Optional
 
+from repro.common.machine import system_config_to_dict
 from repro.harness.cache import CacheStats, simulation_result_to_dict
 from repro.harness.jobs import JobResult, code_fingerprint
 from repro.cpu.simulator import SimulationResult
@@ -99,6 +100,17 @@ class RunArtifact:
             # Per-row provenance, not just header-level: an artifact
             # chained through resumes can mix rows from several builds.
             "code": code_fingerprint(),
+            # The fully-resolved machine this row simulated -- preset +
+            # overrides already folded into every SystemConfig field --
+            # so a row's provenance never depends on what a preset name
+            # meant at the time it was written.
+            "machine": {
+                "spec": outcome.spec.machine.to_dict(),
+                "hash": outcome.spec.machine.spec_hash(),
+                "resolved": system_config_to_dict(
+                    outcome.spec.system_config()
+                ),
+            },
             "cache": outcome.cache_status,
             "cache_hit": outcome.cache_status == "hit",
             "wall_time_s": outcome.wall_time_s,

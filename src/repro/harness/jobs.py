@@ -19,12 +19,14 @@ import os
 import subprocess
 import time
 import traceback
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import repro
 from repro.common import rng
-from repro.common.config import SystemConfig, default_system
+from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
+from repro.common.machine import DEFAULT_MACHINE, MachineSpec, build_system
 from repro.cpu.batched import ENGINE_MODES
 from repro.cpu.multicore import BoundTrace
 from repro.cpu.simulator import SimulationResult, Simulator
@@ -126,8 +128,27 @@ class JobSpec:
     #: ``timeout_s``: the engines are bit-identical (the golden oracle
     #: locks this), so the choice is execution policy, not input.
     engine: Optional[str] = None
+    #: Machine description beyond the scalar knobs above: a preset plus
+    #: validated dotted-path overrides (:mod:`repro.common.machine`).
+    #: Accepts a :class:`MachineSpec`, a preset name, a dict form, or
+    #: ``None`` (the Table 3 default).  The default spec is excluded
+    #: from the cache key so pre-existing keys stay byte-identical.
+    machine: MachineSpec = DEFAULT_MACHINE
 
     def __post_init__(self) -> None:
+        if self.machine is None:
+            object.__setattr__(self, "machine", DEFAULT_MACHINE)
+        elif isinstance(self.machine, str):
+            object.__setattr__(self, "machine",
+                               MachineSpec(preset=self.machine))
+        elif isinstance(self.machine, Mapping):
+            object.__setattr__(self, "machine",
+                               MachineSpec.from_dict(self.machine))
+        elif not isinstance(self.machine, MachineSpec):
+            raise ConfigurationError(
+                f"machine must be a MachineSpec, preset name or mapping,"
+                f" got {type(self.machine).__name__}"
+            )
         if not self.workload_kind:
             object.__setattr__(
                 self, "workload_kind", infer_workload_kind(self.workload)
@@ -154,8 +175,15 @@ class JobSpec:
     # ------------------------------------------------------------------
     @property
     def label(self) -> str:
-        """Short human-readable identifier for progress lines."""
-        return f"{self.design}/{self.workload}@{self.cache_megabytes}MB"
+        """Short human-readable identifier for progress lines.
+
+        Non-default machines append the spec's short hash so two sweep
+        points differing only in overrides stay distinguishable.
+        """
+        base = f"{self.design}/{self.workload}@{self.cache_megabytes}MB"
+        if self.machine.is_default:
+            return base
+        return f"{base}#{self.machine.spec_hash()[:6]}"
 
     @property
     def effective_seed(self) -> int:
@@ -163,10 +191,47 @@ class JobSpec:
         return self.base_seed if self.base_seed is not None else rng.BASE_SEED
 
     def to_dict(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        # asdict recurses into MachineSpec with tuple-shaped overrides;
+        # replace that with the canonical (sorted-mapping) form so the
+        # dict round-trips through JSON and hashes stably.
+        data["machine"] = self.machine.to_dict()
+        return data
+
+    @staticmethod
+    def unknown_keys(data: Mapping[str, object]) -> List[str]:
+        """The keys of ``data`` no JobSpec field matches, sorted."""
+        known = {f.name for f in dataclasses.fields(JobSpec)}
+        return sorted(set(data) - known)
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+    def from_dict(cls, data: Dict[str, object],
+                  strict: bool = False) -> "JobSpec":
+        """Rebuild a spec from its dict form.
+
+        Keys no field matches -- typically a semantic field added by a
+        *newer* build of the simulator -- cannot be silently dropped:
+        replaying such a row as if it were this build's spec would
+        associate results with the wrong job.  ``strict=True`` (the
+        ``--resume-strict`` behaviour) refuses with a
+        :class:`ConfigurationError`; the default accepts the spec but
+        emits a warning naming the dropped keys.
+        """
+        unknown = cls.unknown_keys(data)
+        if unknown:
+            if strict:
+                raise ConfigurationError(
+                    f"JobSpec dict carries unknown field(s) "
+                    f"{', '.join(unknown)} (written by a newer build?); "
+                    f"refusing to reinterpret it as a different job"
+                )
+            warnings.warn(
+                f"dropping {len(unknown)} unknown JobSpec field(s): "
+                f"{', '.join(unknown)} -- the replayed spec may not "
+                f"describe the job that produced this record",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
@@ -185,6 +250,13 @@ class JobSpec:
         # result (and keys stay stable across the fields' introduction).
         payload.pop("timeout_s", None)
         payload.pop("engine", None)
+        # The default machine spec resolves to exactly the machine the
+        # scalar knobs already describe, so it is excluded -- keys of
+        # every pre-machine-spec JobSpec stay byte-identical.  Any
+        # non-default preset/override changes the simulated machine and
+        # therefore the key.
+        if self.machine.is_default:
+            payload.pop("machine", None)
         payload["base_seed"] = self.effective_seed
         payload["schema"] = SCHEMA_VERSION
         payload["code"] = code_fingerprint()
@@ -193,8 +265,15 @@ class JobSpec:
 
     # ------------------------------------------------------------------
     def system_config(self) -> SystemConfig:
-        """Build the machine configuration this job simulates."""
-        return default_system(
+        """Build the machine configuration this job simulates.
+
+        The scalar knobs feed :func:`repro.common.config.default_system`
+        exactly as before; the machine spec's preset and overrides are
+        then resolved on top, giving every one of SystemConfig's ~40
+        fields a declarative path into the harness.
+        """
+        return build_system(
+            machine=self.machine,
             cache_megabytes=self.cache_megabytes,
             num_cores=self.num_cores,
             replacement=self.replacement,

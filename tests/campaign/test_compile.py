@@ -125,7 +125,7 @@ class TestResultsFromArtifact:
         artifact = RunArtifact(path, name="campaign-unit")
         run = run_campaign(spec, Harness(artifact=artifact))
         artifact.close()
-        _jobs, replayed = results_from_artifact(spec, path)
+        _jobs, replayed, _dropped = results_from_artifact(spec, path)
         assert replayed == run.cell_results()
 
     def test_ignores_foreign_rows(self, tmp_path):
@@ -137,7 +137,7 @@ class TestResultsFromArtifact:
         # A spec with different fixed settings matches nothing.
         other = study(fixed={"accesses": 999, "cache_mb": 256,
                              "scale": 512})
-        _jobs, replayed = results_from_artifact(other, path)
+        _jobs, replayed, _dropped = results_from_artifact(other, path)
         assert replayed == {}
 
     def test_tolerates_torn_trailing_line(self, tmp_path):
@@ -148,5 +148,143 @@ class TestResultsFromArtifact:
         artifact.close()
         with open(path, "a") as handle:
             handle.write('{"record": "job", "status": "ok"')  # torn
-        _jobs, replayed = results_from_artifact(spec, path)
+        _jobs, replayed, _dropped = results_from_artifact(spec, path)
         assert replayed == run.cell_results()
+
+
+class TestMachineFactors:
+    """Dotted override paths and 'preset' as campaign factors."""
+
+    def machine_study(self, **overrides) -> CampaignSpec:
+        data = {
+            "name": "machine-unit",
+            "repetitions": 2,
+            "factors": {
+                "design": ["tagless", "no-l3"],
+                "dram_cache.gipt_in_package": [False, True],
+            },
+            "fixed": {"workload": "mcf", "accesses": 1500,
+                      "cache_mb": 256, "scale": 512},
+            "metrics": ["ipc"],
+            "baseline": "no-l3",
+        }
+        data.update(overrides)
+        return CampaignSpec.from_dict(data)
+
+    def test_dotted_factor_expands_into_machine(self):
+        jobs = expand(self.machine_study())
+        assert len(jobs) == 8  # 2 designs x 2 gipt levels x 2 reps
+        placements = {
+            job.spec.system_config().dram_cache.gipt_in_package
+            for job in jobs
+        }
+        assert placements == {False, True}
+        # The default level compiles to the default machine, so its
+        # cache keys are the ones a machine-less build would compute.
+        default_jobs = [j for j in jobs
+                        if j.cell.get("dram_cache.gipt_in_package") is False]
+        assert all(j.spec.machine.is_default for j in default_jobs)
+
+    def test_dotted_factor_changes_cache_keys(self):
+        jobs = expand(self.machine_study())
+        by_gipt = {}
+        for job in jobs:
+            level = job.cell.get("dram_cache.gipt_in_package")
+            by_gipt.setdefault(level, set()).add(job.spec.cache_key())
+        assert by_gipt[False].isdisjoint(by_gipt[True])
+
+    def test_dotted_factor_joins_seed_pairing(self):
+        """Seeds pair across designs but differ across machine levels."""
+        jobs = expand(self.machine_study())
+        def seeds(design, gipt):
+            return [j.seed for j in jobs
+                    if j.spec.design == design
+                    and j.cell.get("dram_cache.gipt_in_package") is gipt]
+        assert seeds("tagless", True) == seeds("no-l3", True)
+        assert seeds("tagless", True) != seeds("tagless", False)
+
+    def test_preset_factor(self):
+        spec = self.machine_study(factors={
+            "design": ["tagless", "no-l3"],
+            "preset": ["table3", "window-core"],
+        })
+        jobs = expand(spec)
+        models = {job.spec.system_config().core.model for job in jobs}
+        assert models == {"mlp", "window"}
+
+    def test_fixed_dotted_path(self):
+        spec = self.machine_study(
+            factors={"design": ["tagless", "no-l3"]},
+            fixed={"workload": "mcf", "accesses": 1500, "cache_mb": 256,
+                   "scale": 512, "core.model": "window"},
+        )
+        for job in expand(spec):
+            assert job.spec.system_config().core.model == "window"
+
+    def test_bad_machine_levels_rejected_at_spec_load(self):
+        with pytest.raises(ConfigurationError, match="expects a bool"):
+            self.machine_study(factors={
+                "design": ["tagless"],
+                "dram_cache.gipt_in_package": [0, 1],
+            }, baseline=None)
+        with pytest.raises(ConfigurationError, match="unknown override"):
+            self.machine_study(factors={
+                "design": ["tagless"],
+                "dram_cache.no_such": [1],
+            }, baseline=None)
+        with pytest.raises(ConfigurationError, match="frozen"):
+            self.machine_study(factors={
+                "design": ["tagless"],
+                "dram_cache.page_bytes": [8192],
+            }, baseline=None)
+        with pytest.raises(ConfigurationError, match="preset"):
+            self.machine_study(factors={
+                "design": ["tagless"],
+                "preset": ["skylake"],
+            }, baseline=None)
+
+    def test_override_study_runs_end_to_end(self):
+        spec = CampaignSpec.from_dict({
+            "name": "gipt-e2e",
+            "repetitions": 2,
+            "factors": {
+                "design": ["tagless", "no-l3"],
+                "dram_cache.gipt_in_package": [False, True],
+            },
+            "fixed": {"workload": "mcf", "accesses": 1200,
+                      "cache_mb": 256, "scale": 512},
+            "metrics": ["ipc"],
+            "baseline": "no-l3",
+            "bootstrap_resamples": 100,
+        })
+        run = run_campaign(spec, Harness())
+        assert all(outcome.ok for outcome in run.outcomes)
+        results = run.cell_results()
+        assert set(results) == {0, 1, 2, 3}
+
+
+class TestDroppedUnknownRows:
+    def test_unknown_key_rows_counted_not_misfiled(self, tmp_path):
+        spec = study()
+        path = str(tmp_path / "jobs.jsonl")
+        artifact = RunArtifact(path, name="campaign-unit")
+        run = run_campaign(spec, Harness(artifact=artifact))
+        artifact.close()
+        # Rewrite one ok row with a field from a "newer build": under
+        # the old silent-drop from_dict it would still match a current
+        # job and misfile that result; now it must be skipped + counted.
+        import json as _json
+
+        records = [_json.loads(line)
+                   for line in open(path).read().splitlines()]
+        first_job = next(r for r in records if r.get("record") == "job")
+        first_job["spec"]["future_knob"] = 123
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(_json.dumps(record) + "\n")
+        _jobs, replayed, dropped = results_from_artifact(spec, path)
+        assert dropped == 1
+        # The doctored row's (cell, repetition) slot is absent, not
+        # filled with the foreign result.
+        total = sum(len(reps) for reps in replayed.values())
+        assert total == len(run.outcomes) - 1

@@ -174,3 +174,126 @@ class TestScaling:
         simulation structure."""
         cfg = default_system(cache_megabytes=1024, capacity_scale=64)
         assert cfg.sram_tag.access_cycles == 11
+
+
+class TestScalingFloors:
+    """The old silent clamps are now hard errors (PR: config correctness)."""
+
+    def test_cache_pages_floor_raises_not_clamps(self):
+        # 16 MB at scale 512 is 8 pages -- below MIN_CACHE_PAGES.  The
+        # old max(16, pages) clamp made this silently identical to a
+        # 32 MB cache at the same scale.
+        with pytest.raises(ConfigurationError, match="simulation floor"):
+            default_system(cache_megabytes=16, capacity_scale=512)
+
+    def test_distinct_sweep_points_stay_distinct(self):
+        # Just above the floor both points are legal and different.
+        small = default_system(cache_megabytes=64, capacity_scale=512)
+        large = default_system(cache_megabytes=128, capacity_scale=512)
+        assert small.cache_pages == 32
+        assert large.cache_pages == 64
+
+    def test_floor_boundary_is_exact(self):
+        at_floor = default_system(cache_megabytes=32, capacity_scale=512)
+        assert at_floor.cache_pages == 16
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(at_floor, capacity_scale=1024)
+
+    def test_off_package_floor_raises(self):
+        # Shrink backing memory below 2x the cache: must refuse.
+        cfg = default_system(cache_megabytes=1024, capacity_scale=64)
+        with pytest.raises(ConfigurationError, match="off-package"):
+            dataclasses.replace(
+                cfg, off_package_bytes=BYTES_PER_GB
+            )
+
+    def test_scale_ondie_floors_at_one_set(self):
+        from repro.common.config import _scale_ondie
+
+        base = OnDieCacheConfig(capacity_bytes=32 * 1024, associativity=4,
+                                line_bytes=64, hit_cycles=2)
+        scaled = _scale_ondie(base, 10**9)
+        # One full set survives arbitrary shrinking, geometry intact.
+        assert scaled.capacity_bytes == 64 * 4
+        assert scaled.num_sets == 1
+        assert scaled.capacity_bytes % (
+            scaled.line_bytes * scaled.associativity
+        ) == 0
+
+    def test_scale_ondie_truncates_to_set_multiple(self):
+        from repro.common.config import _scale_ondie
+
+        base = OnDieCacheConfig(capacity_bytes=2 * BYTES_PER_MB,
+                                associativity=16, line_bytes=64,
+                                hit_cycles=6)
+        scaled = _scale_ondie(base, 3)
+        floor = base.line_bytes * base.associativity
+        assert scaled.capacity_bytes % floor == 0
+        assert scaled.capacity_bytes <= base.capacity_bytes // 3
+
+    def test_scaled_tlb_extreme_scale_floors_at_l1(self):
+        cfg = dataclasses.replace(default_system(), tlb_scale=10**6)
+        assert cfg.scaled_tlb.l2_entries == cfg.scaled_tlb.l1_entries
+
+    def test_scaled_tlb_scale_one_keeps_full_size(self):
+        cfg = dataclasses.replace(default_system(), tlb_scale=1)
+        assert cfg.scaled_tlb.l2_entries == cfg.tlb.l2_entries
+
+
+class TestTagArrayExtrapolation:
+    def test_below_128mb_shrinks_proportionally(self):
+        mb, cycles = tag_array_parameters(64 * BYTES_PER_MB)
+        assert mb == pytest.approx(0.25)
+        assert 1 <= cycles < 5
+
+    def test_far_below_floor_latency_clamps_at_one(self):
+        _mb, cycles = tag_array_parameters(BYTES_PER_MB)
+        assert cycles >= 1
+
+    def test_above_1gb_latency_grows_superlinearly(self):
+        _mb2, cyc2 = tag_array_parameters(2 * BYTES_PER_GB)
+        _mb8, cyc8 = tag_array_parameters(8 * BYTES_PER_GB)
+        assert 11 < cyc2 < cyc8
+
+    def test_extrapolated_sizes_stay_positive_and_monotone(self):
+        sizes = [8, 32, 64, 128, 1024, 2048, 8192]
+        params = [tag_array_parameters(mb * BYTES_PER_MB) for mb in sizes]
+        megabytes = [p[0] for p in params]
+        cycles = [p[1] for p in params]
+        assert all(m > 0 for m in megabytes)
+        assert megabytes == sorted(megabytes)
+        assert cycles == sorted(cycles)
+
+
+class TestHitCycleSourceOfTruth:
+    """OnDieCacheConfig.hit_cycles is the only on-die latency source."""
+
+    def test_core_config_has_no_hit_cycle_fields(self):
+        from repro.common.config import CoreConfig
+
+        names = {f.name for f in dataclasses.fields(CoreConfig)}
+        assert "l1_hit_cycles" not in names
+        assert "l2_hit_cycles" not in names
+
+    def test_designs_read_cache_config_latencies(self):
+        from repro.designs import create_design
+
+        cfg = default_system(cache_megabytes=128, num_cores=1,
+                             capacity_scale=512)
+        cfg = dataclasses.replace(
+            cfg,
+            l1=dataclasses.replace(cfg.l1, hit_cycles=4),
+            l2=dataclasses.replace(cfg.l2, hit_cycles=9),
+        )
+        design = create_design("no-l3", cfg)
+        assert design._l1_hit_cycles == 4
+        assert design._l2_hit_cycles == 9
+        # And the hoisted values drive the actual access cost.
+        design.access(0, 0, 1, 0, False, 0.0)
+        cost = design.access(0, 0, 1, 0, False, 100.0)
+        assert cost.cycles == pytest.approx(4.0)
+
+    def test_hit_cycles_validated(self):
+        with pytest.raises(ConfigurationError):
+            OnDieCacheConfig(capacity_bytes=32 * 1024, associativity=4,
+                             hit_cycles=0)

@@ -1,0 +1,225 @@
+"""MachineSpec tests: validation, canonicalisation, resolution, files."""
+
+import json
+
+import pytest
+
+from repro.common.config import SystemConfig, default_system
+from repro.common.errors import ConfigurationError
+from repro.common.machine import (
+    DEFAULT_MACHINE,
+    FROZEN_PATHS,
+    PRESETS,
+    MachineSpec,
+    build_system,
+    coerce_override,
+    iter_override_paths,
+    parse_assignment,
+    system_config_to_dict,
+)
+
+
+class TestOverrideValidation:
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown override"):
+            MachineSpec(overrides={"dram_cache.no_such_knob": 1})
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigurationError, match="no field"):
+            MachineSpec(overrides={"nonexistent.thing": 1})
+
+    def test_path_through_scalar_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a config section"):
+            MachineSpec(overrides={"core.frequency_ghz.deeper": 1.0})
+
+    def test_section_path_rejected(self):
+        with pytest.raises(ConfigurationError, match="config section"):
+            MachineSpec(overrides={"dram_cache": {}})
+
+    def test_bool_field_rejects_int(self):
+        # 1 for gipt_in_package is almost always a typo; require a bool.
+        with pytest.raises(ConfigurationError, match="expects a bool"):
+            MachineSpec(overrides={"dram_cache.gipt_in_package": 1})
+
+    def test_int_field_rejects_bool_and_float(self):
+        with pytest.raises(ConfigurationError, match="expects an int"):
+            MachineSpec(overrides={"core.rob_entries": True})
+        with pytest.raises(ConfigurationError, match="expects an int"):
+            MachineSpec(overrides={"core.rob_entries": 96.5})
+
+    def test_str_field_rejects_number(self):
+        with pytest.raises(ConfigurationError, match="expects a string"):
+            MachineSpec(overrides={"core.model": 3})
+
+    def test_float_field_canonicalises_int(self):
+        spec = MachineSpec(overrides={"core.frequency_ghz": 4})
+        value = dict(spec.overrides)["core.frequency_ghz"]
+        assert isinstance(value, float) and value == 4.0
+
+    @pytest.mark.parametrize("path", sorted(FROZEN_PATHS))
+    def test_frozen_paths_rejected_with_reason(self, path):
+        with pytest.raises(ConfigurationError, match="frozen"):
+            coerce_override(path, 1)
+
+    def test_duplicate_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            MachineSpec(overrides=(("core.model", "window"),
+                                   ("core.model", "mlp")))
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError, match="preset"):
+            MachineSpec(preset="skylake")
+
+    def test_bad_value_fails_eagerly(self):
+        # The value passes type checks but violates a config invariant;
+        # construction (not a worker process) must reject it.
+        with pytest.raises(ConfigurationError):
+            MachineSpec(overrides={"core.model": "oracle"})
+        with pytest.raises(ConfigurationError):
+            MachineSpec(overrides={"l1.hit_cycles": 0})
+
+    def test_iter_override_paths_excludes_frozen(self):
+        paths = list(iter_override_paths())
+        assert "dram_cache.gipt_in_package" in paths
+        assert "core.model" in paths
+        for frozen in FROZEN_PATHS:
+            assert frozen not in paths
+
+
+class TestCanonicalisation:
+    def test_hash_stable_across_key_order(self):
+        a = MachineSpec(overrides=(("core.model", "window"),
+                                   ("dram_cache.gipt_in_package", True)))
+        b = MachineSpec(overrides=(("dram_cache.gipt_in_package", True),
+                                   ("core.model", "window")))
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+        assert a.canonical() == b.canonical()
+
+    def test_hash_stable_across_int_float_spelling(self):
+        a = MachineSpec(overrides={"core.frequency_ghz": 4})
+        b = MachineSpec(overrides={"core.frequency_ghz": 4.0})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_distinct_specs_hash_differently(self):
+        assert (MachineSpec().spec_hash()
+                != MachineSpec(preset="window-core").spec_hash())
+
+    def test_is_default(self):
+        assert MachineSpec().is_default
+        assert DEFAULT_MACHINE.is_default
+        assert not MachineSpec(preset="gipt-in-package").is_default
+        assert not MachineSpec(
+            overrides={"core.model": "window"}
+        ).is_default
+
+
+class TestResolution:
+    def test_default_resolution_is_identity(self):
+        base = default_system()
+        assert MachineSpec().resolve(base) is base
+
+    def test_override_reaches_nested_field(self):
+        config = MachineSpec(
+            overrides={"dram_cache.gipt_in_package": True}
+        ).resolve(default_system())
+        assert config.dram_cache.gipt_in_package is True
+        # Everything else untouched.
+        assert config.dram_cache.replacement == "fifo"
+        assert config.core.model == "mlp"
+
+    def test_preset_bundle_applies(self):
+        config = MachineSpec(preset="window-core").resolve(default_system())
+        assert config.core.model == "window"
+
+    def test_user_override_wins_over_preset(self):
+        spec = MachineSpec(preset="window-core",
+                           overrides={"core.model": "mlp"})
+        assert spec.resolve(default_system()).core.model == "mlp"
+
+    def test_every_preset_resolves(self):
+        for name in PRESETS:
+            assert isinstance(
+                MachineSpec(preset=name).resolve(default_system()),
+                SystemConfig,
+            )
+
+    def test_build_system_default_is_default_system(self):
+        assert build_system(cache_megabytes=512, num_cores=1,
+                            capacity_scale=128) == default_system(
+            cache_megabytes=512, num_cores=1, capacity_scale=128)
+
+    def test_build_system_applies_machine(self):
+        config = build_system(
+            machine=MachineSpec(overrides={"tlb.walk_cycles": 99}),
+            cache_megabytes=512,
+        )
+        assert config.tlb.walk_cycles == 99
+
+    def test_system_config_to_dict_nests(self):
+        data = system_config_to_dict(default_system())
+        assert data["dram_cache"]["gipt_in_package"] is False
+        assert data["l1"]["hit_cycles"] == 2
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = MachineSpec(preset="window-core",
+                           overrides={"dram_cache.gipt_in_package": True})
+        assert MachineSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            MachineSpec.from_dict({"preset": "table3", "typo": 1})
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = MachineSpec(overrides={"core.model": "window",
+                                      "core.rob_entries": 96})
+        path = tmp_path / "machine.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert MachineSpec.from_file(str(path)) == spec
+
+    def test_toml_file_round_trip(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "machine.toml"
+        path.write_text(
+            'preset = "window-core"\n'
+            "[overrides]\n"
+            '"dram_cache.gipt_in_package" = true\n'
+        )
+        spec = MachineSpec.from_file(str(path))
+        assert spec.preset == "window-core"
+        assert dict(spec.overrides) == {"dram_cache.gipt_in_package": True}
+
+    def test_bad_json_reported_as_configuration_error(self, tmp_path):
+        path = tmp_path / "machine.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            MachineSpec.from_file(str(path))
+
+
+class TestAssignments:
+    def test_parse_assignment_types(self):
+        assert parse_assignment("dram_cache.gipt_in_package=true") == (
+            "dram_cache.gipt_in_package", True)
+        assert parse_assignment("core.rob_entries=96") == (
+            "core.rob_entries", 96)
+        # Bare strings need no quoting.
+        assert parse_assignment("core.model=window") == (
+            "core.model", "window")
+
+    def test_parse_assignment_requires_path_and_value(self):
+        for text in ("core.model", "=window", "core.model="):
+            with pytest.raises(ConfigurationError, match="PATH=VALUE"):
+                parse_assignment(text)
+
+    def test_with_assignments_layers_last_wins(self):
+        spec = MachineSpec(overrides={"core.model": "window"})
+        merged = spec.with_assignments(
+            ["core.model=mlp", "dram_cache.gipt_in_package=true"]
+        )
+        assert dict(merged.overrides) == {
+            "core.model": "mlp",
+            "dram_cache.gipt_in_package": True,
+        }
+        assert merged.preset == spec.preset

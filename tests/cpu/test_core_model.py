@@ -116,9 +116,12 @@ class TestWindowModel:
         assert isinstance(
             make_core_model(window_cfg, 0.5, 2.0), WindowCoreTimingModel
         )
-        bad = dataclasses.replace(CoreConfig(), model="oracle")
-        with pytest.raises(ValueError):
-            make_core_model(bad, 0.5, 2.0)
+        # Bogus model names now die at config construction, before a
+        # factory could even see them.
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(CoreConfig(), model="oracle")
 
     def test_design_ordering_survives_the_window_model(self):
         """The qualitative result is model-robust: under the window

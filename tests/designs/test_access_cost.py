@@ -12,7 +12,7 @@ def test_l1_hit_cost_is_hit_cycles(small_config):
     assert cost.ondie_level == "l1"
     assert not cost.l3_involved
     assert cost.l3_cycles == 0.0
-    assert cost.cycles == pytest.approx(small_config.core.l1_hit_cycles)
+    assert cost.cycles == pytest.approx(small_config.l1.hit_cycles)
 
 
 def test_l3_cycles_include_tlb_penalty(small_config):

@@ -143,3 +143,106 @@ def test_zero_access_job_executes_cleanly():
     assert result.ipc_sum == 0.0
     assert not math.isnan(result.edp)
     assert result.mean_l3_latency_cycles == 0.0
+
+
+class TestMachineField:
+    """JobSpec.machine: threading, hashing back-compat, strict parsing."""
+
+    def test_default_cache_key_matches_pre_machine_schema(self):
+        """A default-machine spec must hash exactly what the pre-machine
+        schema hashed: the payload with no 'machine' key at all."""
+        import hashlib
+        import json
+
+        from repro.harness.jobs import SCHEMA_VERSION, code_fingerprint
+
+        spec = JobSpec(design="tagless", workload="sphinx3",
+                       accesses=4_000)
+        payload = dataclasses.asdict(spec)
+        payload.pop("timeout_s", None)
+        payload.pop("engine", None)
+        payload.pop("machine", None)  # the pre-machine payload shape
+        payload["base_seed"] = spec.effective_seed
+        payload["schema"] = SCHEMA_VERSION
+        payload["code"] = code_fingerprint()
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        legacy_key = hashlib.sha256(text.encode()).hexdigest()
+        assert spec.cache_key() == legacy_key
+
+    def test_machine_override_changes_cache_key(self):
+        from repro.common.machine import MachineSpec
+
+        base = JobSpec(design="tagless", workload="sphinx3", accesses=4_000)
+        flipped = dataclasses.replace(
+            base,
+            machine=MachineSpec(
+                overrides={"dram_cache.gipt_in_package": True}
+            ),
+        )
+        preset = dataclasses.replace(
+            base, machine=MachineSpec(preset="window-core")
+        )
+        assert base.cache_key() != flipped.cache_key()
+        assert base.cache_key() != preset.cache_key()
+        assert flipped.cache_key() != preset.cache_key()
+
+    def test_machine_coercions(self):
+        from repro.common.machine import DEFAULT_MACHINE, MachineSpec
+
+        assert JobSpec(design="tagless", workload="sphinx3",
+                       machine=None).machine is DEFAULT_MACHINE
+        by_name = JobSpec(design="tagless", workload="sphinx3",
+                          machine="window-core")
+        assert by_name.machine == MachineSpec(preset="window-core")
+        by_dict = JobSpec(
+            design="tagless", workload="sphinx3",
+            machine={"overrides": {"core.model": "window"}},
+        )
+        assert dict(by_dict.machine.overrides) == {"core.model": "window"}
+        with pytest.raises(ConfigurationError):
+            JobSpec(design="tagless", workload="sphinx3", machine=42)
+
+    def test_machine_reaches_system_config(self):
+        spec = JobSpec(design="tagless", workload="sphinx3",
+                       machine={"overrides":
+                                {"dram_cache.gipt_in_package": True}})
+        assert spec.system_config().dram_cache.gipt_in_package is True
+        default = JobSpec(design="tagless", workload="sphinx3")
+        assert default.system_config().dram_cache.gipt_in_package is False
+
+    def test_round_trip_preserves_machine(self):
+        spec = JobSpec(design="tagless", workload="sphinx3",
+                       machine={"preset": "window-core",
+                                "overrides": {"core.rob_entries": 96}})
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+        assert (JobSpec.from_dict(spec.to_dict()).cache_key()
+                == spec.cache_key())
+
+    def test_label_tags_non_default_machine(self):
+        plain = JobSpec(design="tagless", workload="sphinx3")
+        custom = JobSpec(design="tagless", workload="sphinx3",
+                         machine="gipt-in-package")
+        assert "#" not in plain.label
+        assert custom.label.startswith(plain.label)
+        assert "#" in custom.label
+
+    def test_from_dict_strict_refuses_unknown_keys(self):
+        spec = JobSpec(design="tagless", workload="sphinx3")
+        data = spec.to_dict()
+        data["from_the_future"] = 7
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            JobSpec.from_dict(data, strict=True)
+
+    def test_from_dict_default_warns_on_unknown_keys(self):
+        spec = JobSpec(design="tagless", workload="sphinx3")
+        data = spec.to_dict()
+        data["from_the_future"] = 7
+        with pytest.warns(RuntimeWarning, match="from_the_future"):
+            rebuilt = JobSpec.from_dict(data)
+        assert rebuilt == spec
+
+    def test_unknown_keys_helper(self):
+        spec = JobSpec(design="tagless", workload="sphinx3")
+        assert JobSpec.unknown_keys(spec.to_dict()) == []
+        assert JobSpec.unknown_keys({**spec.to_dict(), "b": 1, "a": 2}) \
+            == ["a", "b"]

@@ -36,11 +36,50 @@ from repro.common.config import default_system  # noqa: E402
 from repro.cpu.multicore import BoundTrace  # noqa: E402
 from repro.cpu.simulator import Simulator  # noqa: E402
 from repro.designs.registry import ALL_DESIGN_NAMES  # noqa: E402
-from repro.obs import make_telemetry  # noqa: E402
+from repro.obs import make_telemetry, set_registry  # noqa: E402
+from repro.obs.metrics import (  # noqa: E402
+    NULL_INSTRUMENT,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+)
 from repro.workloads.generator import TraceGenerator  # noqa: E402
 from repro.workloads.spec import spec_profile  # noqa: E402
 
 SMOKE_ACCESSES = 4000
+
+
+def metrics_null_check() -> None:
+    """Structural proof the metrics-off path is the shared no-op.
+
+    A disabled :class:`MetricsRegistry` must hand every caller the one
+    ``NULL_INSTRUMENT`` singleton -- that is what makes instrumented
+    call sites (pool, cache, shm, campaign) cost exactly one no-op
+    method call when ``REPRO_METRICS`` is unset.  Raises SystemExit on
+    violation so the guard fails loudly, not with a timing wobble.
+    """
+    if metrics_enabled():
+        raise SystemExit("obs guard: REPRO_METRICS is set; the disabled-"
+                         "path guard must run with metrics off")
+    disabled = MetricsRegistry(enabled=False)
+    instruments = (
+        disabled.counter("guard_c", "x"),
+        disabled.gauge("guard_g", "x"),
+        disabled.histogram("guard_h", "x"),
+    )
+    for instrument in instruments:
+        if instrument is not NULL_INSTRUMENT:
+            raise SystemExit("obs guard: disabled registry leaked a live "
+                             f"instrument: {instrument!r}")
+    if get_registry().enabled:
+        raise SystemExit("obs guard: default registry is enabled without "
+                         "REPRO_METRICS")
+    enabled = MetricsRegistry(enabled=True)
+    if enabled.counter("guard_c", "x") is NULL_INSTRUMENT:
+        raise SystemExit("obs guard: enabled registry returned the null "
+                         "instrument")
+    print("  [ok  ] metrics registry: disabled path shares "
+          "NULL_INSTRUMENT; default registry off", file=sys.stderr)
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -154,6 +193,11 @@ def main(argv=None) -> int:
     print(f"obs guard ({mode}, tolerance "
           f"{args.tolerance if args.baseline else args.enabled_tolerance})",
           file=sys.stderr)
+    metrics_null_check()
+    # Time the disabled path with a disabled registry explicitly
+    # installed: what the 5% baseline comparison certifies is the whole
+    # metrics-off stack, not a build that dodged the metrics layer.
+    set_registry(MetricsRegistry(enabled=False))
     rows = run_guard(args)
     failures = [r for r in rows if r["status"] == "FAIL"]
     if args.json:

@@ -119,6 +119,7 @@ def run(args: argparse.Namespace) -> list:
     for design in args.designs:
         record = time_design(design, simulator, bindings, repeat,
                              engine=args.engine)
+        record["workload"] = args.workload
         records.append(record)
         print(f"  {design:8s} {record['accesses_per_second']:12,.0f} acc/s "
               f"({record['seconds'] * 1e3:8.1f} ms)", file=sys.stderr)

@@ -38,6 +38,12 @@ from repro.campaign.spec import (
     CampaignSpec,
     Cell,
 )
+from repro.campaign.status import (
+    CampaignStatus,
+    campaign_status,
+    counters_from_rows,
+    render_status,
+)
 from repro.campaign.stats import (
     PairedComparison,
     SampleSummary,
@@ -54,6 +60,7 @@ __all__ = [
     "CampaignJob",
     "CampaignRun",
     "CampaignSpec",
+    "CampaignStatus",
     "Cell",
     "FACTOR_FIELDS",
     "METRIC_KEYS",
@@ -62,9 +69,12 @@ __all__ = [
     "SampleSummary",
     "StudyReport",
     "bootstrap_interval",
+    "campaign_status",
     "cliffs_delta",
     "cohens_d",
+    "counters_from_rows",
     "expand",
+    "render_status",
     "paired_speedup",
     "reduce_campaign",
     "render_markdown",

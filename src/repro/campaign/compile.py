@@ -22,6 +22,7 @@ from repro.designs.registry import ALL_DESIGN_NAMES
 from repro.harness.artifacts import job_metrics
 from repro.harness.jobs import JobResult, JobSpec, infer_workload_kind
 from repro.harness.runner import Harness
+from repro.obs.metrics import get_registry
 from repro.campaign.spec import (
     FACTOR_FIELDS,
     CampaignSpec,
@@ -100,7 +101,9 @@ def expand(campaign: CampaignSpec) -> List[CampaignJob]:
     cache entries its predecessor computed.
     """
     jobs: List[CampaignJob] = []
+    cells = 0
     for cell_index, cell in enumerate(campaign.cells()):
+        cells += 1
         for repetition in range(campaign.repetitions):
             spec = _job_spec(campaign, cell, repetition)
             jobs.append(CampaignJob(
@@ -110,6 +113,14 @@ def expand(campaign: CampaignSpec) -> List[CampaignJob]:
                 seed=spec.base_seed,
                 spec=spec,
             ))
+    registry = get_registry()
+    registry.counter(
+        "repro_campaign_cells_expanded_total",
+        "Grid cells produced by campaign expansion").inc(cells)
+    registry.counter(
+        "repro_campaign_points_expanded_total",
+        "(cell, repetition) points produced by campaign expansion",
+    ).inc(len(jobs))
     return jobs
 
 

@@ -114,6 +114,22 @@ def _add_harness_arguments(parser: argparse.ArgumentParser) -> None:
                              "or batched (fused kernels; bit-identical, "
                              "faster).  Default: $REPRO_ENGINE, else "
                              "scalar")
+    _add_fleet_arguments(parser)
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fleet-observability flags shared by sweep/experiment/campaign."""
+    parser.add_argument("--live", action="store_true",
+                        help="replace the progress lines with a live "
+                             "per-worker dashboard fed by worker "
+                             "heartbeats (best with --jobs > 1)")
+    parser.add_argument("--metrics", dest="metrics_out", default=None,
+                        metavar="PATH",
+                        help="write a fleet-metrics snapshot (pool, "
+                             "cache, shared-memory, campaign counters) "
+                             "to PATH on exit; a .prom suffix selects "
+                             "Prometheus text exposition, anything else "
+                             "JSONL")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -284,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "fingerprint instead of warning")
         parser.add_argument("--json", action="store_true",
                             help="print the run summary as JSON")
+        _add_fleet_arguments(parser)
 
     campaign_run = campaign_sub.add_parser(
         "run", help="execute a study spec end to end and write reports"
@@ -366,6 +383,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--metrics", nargs="+", default=None,
                         metavar="COLUMN",
                         help="only render these columns (default: all)")
+
+    status = sub.add_parser(
+        "status",
+        help="reconstruct campaign health (counters, failures, missing "
+             "points) from a campaign directory's artifacts",
+    )
+    status.add_argument(
+        "dir", nargs="?", default=None,
+        help="campaign directory holding spec.json + jobs.jsonl "
+             "(optional with --smoke)"
+    )
+    status.add_argument("--json", action="store_true",
+                        help="emit the status as JSON")
+    status.add_argument("--smoke", action="store_true",
+                        help="CI gate: run the built-in smoke study and "
+                             "verify status reconstructs the run's exact "
+                             "counters from its artifacts")
+
+    merge_trace = sub.add_parser(
+        "merge-trace",
+        help="merge Perfetto JSON traces (e.g. a harness job-lifecycle "
+             "trace and a sim-level telemetry trace) into one timeline",
+    )
+    merge_trace.add_argument("traces", nargs="+",
+                             help="input Perfetto JSON trace files")
+    merge_trace.add_argument("--out", required=True, metavar="PATH",
+                             help="merged Perfetto JSON output path")
 
     validate = sub.add_parser(
         "validate",
@@ -774,6 +818,71 @@ def _load_resume(path: str, strict: bool):
     return resume
 
 
+#: Worker heartbeat period behind ``--live`` (seconds).
+LIVE_HEARTBEAT_S = 0.5
+
+
+def _install_metrics(args: argparse.Namespace) -> None:
+    """Arm the global metrics registry when ``--metrics`` asks for it.
+
+    Must run before any instrumented object (cache, pool, arena) is
+    constructed: instruments are fetched at construction time.  Without
+    the flag the registry keeps its ``$REPRO_METRICS`` default.
+    """
+    if getattr(args, "metrics_out", None):
+        from repro.obs import MetricsRegistry, set_registry
+
+        set_registry(MetricsRegistry(enabled=True))
+
+
+def _write_metrics(path: Optional[str]) -> None:
+    """Snapshot the global registry to ``path`` (no-op without one)."""
+    if not path:
+        return
+    from repro.obs import get_registry
+
+    get_registry().write(path)
+    print(f"metrics: {path}", file=sys.stderr)
+
+
+def _fleet_observer(args: argparse.Namespace, name: str,
+                    total: Optional[int]):
+    """Observer stack for the shared flags: tracing and/or ``--live``.
+
+    Returns ``(observer, heartbeat_s)``; both ``None`` when no
+    observability was requested.
+    """
+    observers = []
+    if getattr(args, "trace_out", None) or getattr(args, "timeseries_out",
+                                                   None):
+        from repro.obs import HarnessObserver
+
+        harness_obs = HarnessObserver(label=name)
+        harness_obs.trace_path = args.trace_out
+        harness_obs.timeseries_path = args.timeseries_out
+        observers.append(harness_obs)
+    live = bool(getattr(args, "live", False))
+    if live:
+        from repro.obs import LiveMonitor
+
+        observers.append(LiveMonitor(total=total or 0, label=name))
+    if not observers:
+        return None, None
+    if len(observers) == 1:
+        return observers[0], LIVE_HEARTBEAT_S if live else None
+    from repro.obs import CompositeObserver
+
+    return (CompositeObserver(*observers),
+            LIVE_HEARTBEAT_S if live else None)
+
+
+def _observer_parts(observer) -> list:
+    """The leaf observers behind a possibly-composite observer."""
+    if observer is None:
+        return []
+    return list(getattr(observer, "observers", [observer]))
+
+
 def _build_harness(args: argparse.Namespace, name: str,
                    artifact_path: Optional[str],
                    total: Optional[int] = None) -> Harness:
@@ -791,6 +900,7 @@ def _build_harness(args: argparse.Namespace, name: str,
         raise SystemExit("--retries must be >= 0")
     if args.retry_backoff < 0:
         raise SystemExit("--retry-backoff must be >= 0")
+    _install_metrics(args)
     resume = None
     if args.resume is not None:
         resume = _load_resume(args.resume, args.resume_strict)
@@ -804,20 +914,19 @@ def _build_harness(args: argparse.Namespace, name: str,
         meta={"jobs": args.jobs, "cache": not args.no_cache,
               "argv": sys.argv[1:]},
     )
-    progress = ProgressReporter(total=total, label=name)
-    observer = None
-    if getattr(args, "trace_out", None) or getattr(args, "timeseries_out",
-                                                   None):
-        from repro.obs import HarnessObserver
-
-        observer = HarnessObserver(label=name)
-        observer.trace_path = args.trace_out
-        observer.timeseries_path = args.timeseries_out
+    # --live owns the terminal; the line-per-job reporter keeps counting
+    # silently so its end-of-run summary still prints.
+    progress = ProgressReporter(total=total, label=name,
+                                enabled=not getattr(args, "live", False))
+    observer, heartbeat_s = _fleet_observer(args, name, total)
     print(f"artifact: {artifact_path}", file=sys.stderr)
-    return Harness(jobs=args.jobs, cache=cache, progress=progress,
-                   artifact=artifact, observer=observer,
-                   timeout_s=args.timeout, retries=args.retries,
-                   retry_backoff_s=args.retry_backoff, resume=resume)
+    harness = Harness(jobs=args.jobs, cache=cache, progress=progress,
+                      artifact=artifact, observer=observer,
+                      timeout_s=args.timeout, retries=args.retries,
+                      retry_backoff_s=args.retry_backoff, resume=resume,
+                      heartbeat_s=heartbeat_s)
+    harness.metrics_out = getattr(args, "metrics_out", None)
+    return harness
 
 
 def _finish_harness(harness: Harness) -> None:
@@ -825,11 +934,13 @@ def _finish_harness(harness: Harness) -> None:
     harness.artifact.close(cache_stats)
     if harness.observer is not None:
         harness.observer.finish()
-        for path in (harness.observer.trace_path,
-                     harness.observer.timeseries_path):
-            if path:
-                print(f"telemetry: {path}", file=sys.stderr)
+        for part in _observer_parts(harness.observer):
+            for path in (getattr(part, "trace_path", None),
+                         getattr(part, "timeseries_path", None)):
+                if path:
+                    print(f"telemetry: {path}", file=sys.stderr)
     harness.progress.summary(cache_stats)
+    _write_metrics(getattr(harness, "metrics_out", None))
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -1020,6 +1131,7 @@ def _campaign_execute(spec, out_dir: str, args: argparse.Namespace,
         raise SystemExit("--retries must be >= 0")
     if args.retry_backoff < 0:
         raise SystemExit("--retry-backoff must be >= 0")
+    _install_metrics(args)
     try:
         jobs = expand(spec)
     except ConfigurationError as exc:
@@ -1065,13 +1177,16 @@ def _campaign_execute(spec, out_dir: str, args: argparse.Namespace,
         meta={"campaign": spec.name, "spec_hash": spec.spec_hash(),
               "argv": sys.argv[1:]},
     )
-    progress = ProgressReporter(total=len(jobs),
-                                label=f"campaign:{spec.name}")
+    label = f"campaign:{spec.name}"
+    progress = ProgressReporter(total=len(jobs), label=label,
+                                enabled=not getattr(args, "live", False))
+    observer, heartbeat_s = _fleet_observer(args, label, len(jobs))
     harness = Harness(jobs=args.jobs, cache=cache, progress=progress,
-                      artifact=artifact, timeout_s=args.timeout,
+                      artifact=artifact, observer=observer,
+                      timeout_s=args.timeout,
                       retries=args.retries,
                       retry_backoff_s=args.retry_backoff,
-                      resume=resume_map)
+                      resume=resume_map, heartbeat_s=heartbeat_s)
     print(f"campaign {spec.name}: {len(jobs)} points "
           f"({len(spec.cells())} cells x {spec.repetitions} repetitions) "
           f"-> {out_dir}", file=sys.stderr)
@@ -1085,7 +1200,10 @@ def _campaign_execute(spec, out_dir: str, args: argparse.Namespace,
         return 130
     finally:
         artifact.close(cache.stats if cache else None)
+        if observer is not None:
+            observer.finish()
         progress.summary(cache.stats if cache else None)
+        _write_metrics(getattr(args, "metrics_out", None))
 
     run = CampaignRun(campaign=spec, jobs=jobs, outcomes=outcomes)
     report = reduce_campaign(spec, run.cell_results())
@@ -1355,6 +1473,92 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_status(args: argparse.Namespace) -> int:
+    """Reconstruct campaign health from spec.json + jobs.jsonl."""
+    from repro.campaign import campaign_status, render_status
+
+    if args.smoke:
+        return _status_smoke()
+    if not args.dir:
+        raise SystemExit("status needs a campaign directory (or --smoke); "
+                         "see `repro status --help`")
+    try:
+        status = campaign_status(args.dir)
+    except OSError as exc:
+        raise SystemExit(
+            f"{args.dir} is not a campaign directory ({exc})"
+        ) from None
+    except ConfigurationError as exc:
+        raise SystemExit(
+            f"bad recorded spec in {args.dir}: {exc}"
+        ) from None
+    if args.json:
+        print(json.dumps(status.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    return 0
+
+
+def _status_smoke() -> int:
+    """CI gate: artifact-reconstructed counters must equal the run's.
+
+    Runs the built-in smoke study into a temp directory through the
+    pooled harness, then rebuilds its health purely from the artifacts
+    and diffs against :meth:`CampaignRun.counters` -- the acceptance
+    check that `repro status` on a finished campaign tells the same
+    story its run summary did.
+    """
+    import tempfile
+
+    from repro.campaign import CampaignSpec, campaign_status, run_campaign
+
+    spec = CampaignSpec.from_dict(_SMOKE_STUDY)
+    problems = []
+    with tempfile.TemporaryDirectory(prefix="repro-status-") as tmp:
+        with open(os.path.join(tmp, "spec.json"), "w") as handle:
+            json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        artifact = RunArtifact(os.path.join(tmp, "jobs.jsonl"),
+                               name=f"campaign-{spec.name}")
+        harness = Harness(jobs=2, artifact=artifact,
+                          progress=ProgressReporter(enabled=False))
+        run = run_campaign(spec, harness)
+        artifact.close()
+        status = campaign_status(tmp)
+        expected = run.counters()
+        if status.counters != expected:
+            problems.append(f"reconstructed counters {status.counters} "
+                            f"!= run counters {expected}")
+        if status.missing:
+            problems.append(f"{status.missing} points missing from the "
+                            f"artifact")
+        if not status.complete:
+            problems.append("finished campaign not reported complete")
+    if problems:
+        print("status smoke: FAIL")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"status smoke: PASS ({status.expected} points reconstructed "
+          f"bit-identically from artifacts)")
+    return 0
+
+
+def cmd_merge_trace(args: argparse.Namespace) -> int:
+    """Merge Perfetto traces into one timeline (one process per input)."""
+    from repro.obs import merge_perfetto_files
+
+    try:
+        merged = merge_perfetto_files(args.traces, args.out)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot merge traces: {exc}") from None
+    other = merged["otherData"]
+    print(f"merged {len(args.traces)} traces -> {args.out} "
+          f"({len(merged['traceEvents'])} events, "
+          f"{other['dropped']} dropped at capture)")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.analysis.validate import run_validation
 
@@ -1454,6 +1658,8 @@ _COMMANDS = {
     "campaign": cmd_campaign,
     "profile": cmd_profile,
     "report": cmd_report,
+    "status": cmd_status,
+    "merge-trace": cmd_merge_trace,
     "validate": cmd_validate,
     "check": cmd_check,
 }

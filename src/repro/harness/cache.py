@@ -25,6 +25,7 @@ from repro.analysis.energy import EnergyBreakdown
 from repro.cpu.multicore import CoreResult
 from repro.cpu.simulator import SimulationResult
 from repro.harness.jobs import SCHEMA_VERSION, JobSpec
+from repro.obs.metrics import get_registry
 
 #: Default cache root; ``REPRO_CACHE_DIR`` overrides it.
 DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro")
@@ -98,6 +99,21 @@ class ResultCache:
         self.cache_dir = resolve_cache_dir(cache_dir)
         self.enabled = enabled
         self.stats = CacheStats()
+        # Fleet metrics ride alongside the per-instance CacheStats: the
+        # registry hands back shared no-ops when disabled, so the cost
+        # here is one attribute lookup per rare event.
+        registry = get_registry()
+        self._m_lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "Result-cache lookups by outcome (hit/miss)")
+        self._m_stores = registry.counter(
+            "repro_cache_stores_total", "Results written to the cache")
+        self._m_invalidated = registry.counter(
+            "repro_cache_invalidated_total",
+            "Entries deleted on read (schema/key mismatch, corrupt)")
+        self._m_stale_tmp = registry.counter(
+            "repro_cache_stale_tmp_total",
+            "Orphaned *.tmp staging files swept")
         # A writer killed between mkstemp and os.replace (OOM, SIGKILL,
         # power loss) leaks its staging file forever; nothing else ever
         # deletes it, so each cache construction sweeps old ones.
@@ -125,6 +141,7 @@ class ResultCache:
                 entry = json.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._m_lookups.inc(outcome="miss")
             return None
         except (json.JSONDecodeError, OSError):
             self._invalidate(path)
@@ -139,6 +156,7 @@ class ResultCache:
             self._invalidate(path)
             return None
         self.stats.hits += 1
+        self._m_lookups.inc(outcome="hit")
         return result
 
     def put(self, spec: JobSpec, result: SimulationResult,
@@ -168,6 +186,7 @@ class ResultCache:
                 os.unlink(tmp)
             raise
         self.stats.stores += 1
+        self._m_stores.inc()
         return path
 
     def clear(self) -> int:
@@ -202,12 +221,16 @@ class ResultCache:
                 except OSError:
                     pass  # raced with its writer's os.replace: not stale
         self.stats.stale_tmp += removed
+        if removed:
+            self._m_stale_tmp.inc(removed)
         return removed
 
     # ------------------------------------------------------------------
     def _invalidate(self, path: str) -> None:
         self.stats.invalidated += 1
         self.stats.misses += 1
+        self._m_invalidated.inc()
+        self._m_lookups.inc(outcome="miss")
         try:
             os.unlink(path)
         except OSError:

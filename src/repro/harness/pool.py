@@ -16,6 +16,14 @@ the sweep never notices.  Workers are persistent -- they loop over
 jobs, amortizing spawn cost exactly like an executor pool -- and run
 the same :func:`~repro.harness.jobs.execute_captured` body the serial
 path uses, so parallel results stay bit-identical.
+
+Messages on the pipe are tagged tuples: workers send
+``("done", index, result, error, detail, wall)`` when a job lands and,
+when ``heartbeat_s`` is set, ``("hb", payload)`` liveness beats from a
+daemon thread while the main thread is deep in a simulation.  Tagging
+is what makes heartbeats safe to interleave: a stale beat that arrives
+after its job's result is recognised and dropped instead of being
+misparsed as an outcome.
 """
 
 from __future__ import annotations
@@ -23,17 +31,52 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import signal
+import threading
 import time
 from typing import List, Optional, Tuple
 
 from repro.harness.jobs import JobSpec, execute_captured
 from repro.harness.shm import TraceShare, attach_bindings
+from repro.obs.metrics import get_registry
 
 #: Seconds to wait for a worker to exit voluntarily before killing it.
 _JOIN_GRACE_S = 2.0
 
+#: Message tags on the worker->parent pipe.
+_MSG_DONE, _MSG_HEARTBEAT = "done", "hb"
 
-def _worker_main(conn) -> None:
+
+def _heartbeat_loop(conn, send_lock, state, stop, heartbeat_s) -> None:
+    """Worker-side beat sender (daemon thread).
+
+    The worker's main thread blocks inside ``execute_captured`` for the
+    whole job, so liveness has to come from a sibling thread.  It reads
+    the mutable ``state`` the main loop maintains and shares
+    ``send_lock`` with result sends so beats and outcomes never
+    interleave mid-pickle on the pipe.
+    """
+    while not stop.wait(heartbeat_s):
+        job = state.get("job")
+        if job is None:
+            continue
+        index, label, attempt, accesses = job
+        payload = {
+            "index": index,
+            "label": label,
+            "attempt": attempt,
+            "elapsed_s": time.monotonic() - state["t0"],
+            "jobs_done": state["jobs_done"],
+            "accesses_done": state["accesses_done"],
+            "accesses_in_flight": accesses,
+        }
+        try:
+            with send_lock:
+                conn.send((_MSG_HEARTBEAT, payload))
+        except Exception:
+            return  # pipe gone: the worker is exiting
+
+
+def _worker_main(conn, heartbeat_s: float = 0.0) -> None:
     """Worker loop: receive ``(index, spec, attempt, share)``, send the
     outcome.
 
@@ -51,6 +94,16 @@ def _worker_main(conn) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    #: Shared with the heartbeat thread; ``job`` is None between jobs.
+    state = {"job": None, "t0": 0.0, "jobs_done": 0, "accesses_done": 0}
+    if heartbeat_s and heartbeat_s > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, send_lock, state, stop, heartbeat_s),
+            daemon=True, name="repro-heartbeat",
+        ).start()
     while True:
         try:
             payload = conn.recv()
@@ -59,6 +112,9 @@ def _worker_main(conn) -> None:
         if payload is None:
             break
         index, spec, attempt, share = payload
+        job_accesses = spec.accesses * max(1, getattr(spec, "num_cores", 1))
+        state["t0"] = time.monotonic()
+        state["job"] = (index, spec.label, attempt, job_accesses)
         bindings = None
         if share is not None:
             try:
@@ -66,24 +122,32 @@ def _worker_main(conn) -> None:
             except Exception:  # pragma: no cover - segment raced away
                 bindings = None
         outcome = execute_captured(spec, attempt, bindings=bindings)
+        state["job"] = None
+        state["jobs_done"] += 1
+        state["accesses_done"] += job_accesses
         try:
-            conn.send((index,) + outcome)
+            with send_lock:
+                conn.send((_MSG_DONE, index) + outcome)
         except Exception:  # result not picklable: report it as an error
             result, _error, _detail, wall = outcome
-            conn.send((index, None,
-                       f"unpicklable result for {spec.label}: "
-                       f"{type(result).__name__}", None, wall))
+            with send_lock:
+                conn.send((_MSG_DONE, index, None,
+                           f"unpicklable result for {spec.label}: "
+                           f"{type(result).__name__}", None, wall))
+    stop.set()
     conn.close()
 
 
 class _InFlight:
     """The job a worker is currently running, with its deadline."""
 
-    __slots__ = ("index", "spec", "attempt", "deadline", "started", "share")
+    __slots__ = ("index", "spec", "attempt", "deadline", "started", "share",
+                 "worker_id")
 
     def __init__(self, index: int, spec: JobSpec, attempt: int,
                  timeout_s: Optional[float],
-                 share: Optional[TraceShare] = None):
+                 share: Optional[TraceShare] = None,
+                 worker_id: int = 0):
         self.index = index
         self.spec = spec
         self.attempt = attempt
@@ -92,38 +156,65 @@ class _InFlight:
                          if timeout_s is not None else None)
         #: Trace manifest dispatched with the job (None: regeneration).
         self.share = share
+        #: Which pool worker is running it (tracing/live attribution).
+        self.worker_id = worker_id
 
 
 class WorkerHandle:
     """One supervised worker process and its command/result pipe."""
 
-    __slots__ = ("process", "conn", "job")
+    __slots__ = ("process", "conn", "job", "id", "last_heartbeat")
 
-    def __init__(self, ctx):
+    def __init__(self, ctx, worker_id: int, heartbeat_s: float = 0.0):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True,
-            name="repro-harness-worker",
+            target=_worker_main, args=(child_conn, heartbeat_s), daemon=True,
+            name=f"repro-harness-worker-{worker_id}",
         )
         self.process.start()
         child_conn.close()
         self.conn = parent_conn
         self.job: Optional[_InFlight] = None
+        #: Stable id for trace tracks and live rows; survives the
+        #: process being replaced after a crash only as a *new* id --
+        #: each spawned process gets its own.
+        self.id = worker_id
+        #: Most recent heartbeat payload (None until one arrives).
+        self.last_heartbeat: Optional[dict] = None
 
 
-#: Poll outcome kinds: a worker finished its job, or died running it.
-DONE, CRASHED = "done", "crashed"
+#: Poll outcome kinds: a worker finished its job, died running it, or
+#: (heartbeats enabled) reported liveness mid-job.
+DONE, CRASHED, HEARTBEAT = "done", "crashed", "hb"
 
 
 class WorkerPool:
     """At most ``max_workers`` live workers, spawned lazily on submit."""
 
-    def __init__(self, max_workers: int):
+    def __init__(self, max_workers: int, heartbeat_s: float = 0.0):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.heartbeat_s = heartbeat_s
         self._ctx = multiprocessing.get_context()
         self._workers: List[WorkerHandle] = []
+        self._next_id = 0
+        registry = get_registry()
+        self._m_spawns = registry.counter(
+            "repro_pool_worker_spawns_total",
+            "Worker processes started by the supervised pool")
+        self._m_crashes = registry.counter(
+            "repro_pool_worker_crashes_total",
+            "Worker processes that died mid-job")
+        self._m_submits = registry.counter(
+            "repro_pool_jobs_submitted_total",
+            "Jobs handed to workers (retries resubmit)")
+        self._m_heartbeats = registry.counter(
+            "repro_pool_heartbeats_total",
+            "Liveness beats received from busy workers")
+        self._m_busy = registry.gauge(
+            "repro_pool_busy_workers",
+            "Workers currently running a job")
 
     # ------------------------------------------------------------------
     def busy(self) -> List[WorkerHandle]:
@@ -136,8 +227,9 @@ class WorkerPool:
 
     def submit(self, index: int, spec: JobSpec, attempt: int,
                timeout_s: Optional[float],
-               share: Optional[TraceShare] = None) -> None:
-        """Hand one job to an idle worker (spawning one if needed)."""
+               share: Optional[TraceShare] = None) -> int:
+        """Hand one job to an idle worker (spawning one if needed);
+        returns the worker's id for attribution."""
         worker = None
         for candidate in self._workers:
             if candidate.job is None:
@@ -151,23 +243,32 @@ class WorkerPool:
         if worker is None:
             if len(self._workers) >= self.max_workers:
                 raise RuntimeError("no idle worker (check has_capacity)")
-            worker = WorkerHandle(self._ctx)
+            worker = WorkerHandle(self._ctx, self._next_id, self.heartbeat_s)
+            self._next_id += 1
             self._workers.append(worker)
-        worker.job = _InFlight(index, spec, attempt, timeout_s, share)
+            self._m_spawns.inc()
+        worker.job = _InFlight(index, spec, attempt, timeout_s, share,
+                               worker_id=worker.id)
         worker.conn.send((index, spec, attempt, share))
+        self._m_submits.inc()
+        self._m_busy.set(len(self.busy()))
+        return worker.id
 
     # ------------------------------------------------------------------
     def poll(
         self, timeout: Optional[float],
-    ) -> List[Tuple[str, _InFlight, Optional[tuple]]]:
+    ) -> List[Tuple[str, _InFlight, Optional[object]]]:
         """Wait for worker activity and classify it.
 
         Returns ``(kind, job, payload)`` tuples: ``(DONE, job,
         (result, error, error_detail, wall_s))`` for a worker that sent
-        its outcome back (the worker returns to the idle set), or
+        its outcome back (the worker returns to the idle set);
         ``(CRASHED, job, None)`` for a worker whose process died
         mid-job (the worker is reaped; the pool shrinks until the next
-        submit respawns).
+        submit respawns); ``(HEARTBEAT, job, payload_dict)`` for a
+        liveness beat (``payload["worker"]`` carries the worker id).
+        Beats whose job index disagrees with the worker's current job
+        are stale leftovers from a completed job and are dropped.
         """
         busy = self.busy()
         if not busy:
@@ -175,7 +276,7 @@ class WorkerPool:
         ready = multiprocessing.connection.wait(
             [w.conn for w in busy], timeout=timeout,
         )
-        events: List[Tuple[str, _InFlight, Optional[tuple]]] = []
+        events: List[Tuple[str, _InFlight, Optional[object]]] = []
         by_conn = {w.conn: w for w in busy}
         for conn in ready:
             worker = by_conn[conn]
@@ -187,11 +288,24 @@ class WorkerPool:
                 # the rare live-but-corrupt-stream case -- either way
                 # this worker is unusable and its job is lost.
                 self.kill(worker)
+                self._m_crashes.inc()
+                self._m_busy.set(len(self.busy()))
                 events.append((CRASHED, job, None))
                 continue
-            index, result, error, detail, wall = message
+            tag = message[0]
+            if tag == _MSG_HEARTBEAT:
+                payload = dict(message[1])
+                if job is None or payload.get("index") != job.index:
+                    continue  # beat from a job that already landed
+                payload["worker"] = worker.id
+                worker.last_heartbeat = payload
+                self._m_heartbeats.inc()
+                events.append((HEARTBEAT, job, payload))
+                continue
+            _tag, index, result, error, detail, wall = message
             assert job is not None and index == job.index
             worker.job = None
+            self._m_busy.set(len(self.busy()))
             events.append((DONE, job, (result, error, detail, wall)))
         return events
 
@@ -213,6 +327,7 @@ class WorkerPool:
         if worker.process.is_alive():
             worker.process.kill()
         self._reap(worker)
+        self._m_busy.set(len(self.busy()))
 
     def shutdown(self) -> None:
         """Stop every worker: idle ones politely, busy ones forcibly."""
@@ -228,6 +343,7 @@ class WorkerPool:
             if worker.process.is_alive():  # pragma: no cover - stuck exit
                 worker.process.kill()
             self._reap(worker)
+        self._m_busy.set(0)
 
     def _reap(self, worker: WorkerHandle) -> None:
         worker.process.join(timeout=_JOIN_GRACE_S)

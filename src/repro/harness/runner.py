@@ -48,8 +48,9 @@ from repro.cpu.simulator import SimulationResult
 from repro.harness.artifacts import RunArtifact
 from repro.harness.cache import ResultCache, simulation_result_from_dict
 from repro.harness.jobs import JobResult, JobSpec, execute_captured
-from repro.harness.pool import DONE, WorkerPool
+from repro.harness.pool import DONE, HEARTBEAT, WorkerPool
 from repro.harness.shm import TraceArena
+from repro.obs.metrics import get_registry
 
 #: Environment variable supplying the default per-job timeout (seconds).
 TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
@@ -84,6 +85,21 @@ def _retry_delay(backoff_s: float, attempt: int) -> float:
     return backoff_s * (2.0 ** attempt)
 
 
+def _hook(observer, name: str, *args) -> None:
+    """Invoke an *optional* observer hook.
+
+    The required observer surface is ``job_done`` (and ``job_retry``,
+    already guarded); the fleet-observability hooks -- ``job_dispatched``,
+    ``job_finished``, ``worker_heartbeat`` -- are looked up dynamically
+    so observers written against the older protocol keep working.
+    """
+    if observer is None:
+        return
+    fn = getattr(observer, name, None)
+    if fn is not None:
+        fn(*args)
+
+
 def _seed_from_record(spec: JobSpec, record: Dict[str, object],
                       ) -> Optional[JobResult]:
     """Rebuild a completed outcome from a prior artifact's job record.
@@ -114,6 +130,7 @@ def run_jobs(
     retries: int = 0,
     retry_backoff_s: float = 0.0,
     resume: Optional[Dict[str, Dict[str, object]]] = None,
+    heartbeat_s: Optional[float] = None,
 ) -> List[JobResult]:
     """Execute ``specs`` and return their outcomes in input order.
 
@@ -207,7 +224,7 @@ def run_jobs(
         with TraceArena() as arena:
             _run_pooled(pending, min(jobs, len(pending)), job_timeout,
                         retries, retry_backoff_s, finish, notify_retry,
-                        arena)
+                        arena, observer=observer, heartbeat_s=heartbeat_s)
     else:
         for index, spec in pending:
             attempt = 0
@@ -239,12 +256,14 @@ def run_jobs(
     return outcomes
 
 
-#: One queued (or requeued) unit of work awaiting a worker.
-_QueueEntry = Tuple[int, JobSpec, int, float]  # index, spec, attempt, t_ready
+#: One queued (or requeued) unit of work awaiting a worker:
+#: index, spec, attempt, t_ready, t_enqueued.
+_QueueEntry = Tuple[int, JobSpec, int, float, float]
 
 
 def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
-                finish, notify_retry, arena=None) -> None:
+                finish, notify_retry, arena=None, observer=None,
+                heartbeat_s=None) -> None:
     """Schedule ``pending`` over a supervised pool until all terminate.
 
     Owns the retry queue and deadline enforcement; terminal outcomes are
@@ -255,10 +274,19 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
     shared memory once per recipe; retries and replacement workers
     re-attach the same segments, so trace data crosses a process
     boundary at most once per sweep, not once per attempt.
+
+    ``observer`` additionally receives the per-attempt lifecycle hooks
+    (:func:`_hook`): dispatch with measured queue wait, attempt
+    completion with worker attribution, and (when ``heartbeat_s`` is
+    set) worker liveness beats.
     """
+    t_start = time.monotonic()
     queue: Deque[_QueueEntry] = collections.deque(
-        (index, spec, 0, 0.0) for index, spec in pending
+        (index, spec, 0, 0.0, t_start) for index, spec in pending
     )
+    queue_wait = get_registry().histogram(
+        "repro_pool_queue_wait_seconds",
+        "Seconds a job (or retry) waited for a worker")
 
     def share_for(spec):
         if arena is None:
@@ -279,15 +307,15 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
     def requeue_or_fail(job, error, detail, wall, status) -> None:
         if job.attempt < retries:
             notify_retry(job.spec, job.attempt, error)
-            ready = time.monotonic() + _retry_delay(retry_backoff_s,
-                                                    job.attempt)
-            queue.append((job.index, job.spec, job.attempt + 1, ready))
+            now = time.monotonic()
+            ready = now + _retry_delay(retry_backoff_s, job.attempt)
+            queue.append((job.index, job.spec, job.attempt + 1, ready, now))
         else:
             finish(job.index, job.spec, None, error, detail, wall,
                    status=status, attempt=job.attempt,
                    transfer=transfer_of(job))
 
-    with WorkerPool(workers) as pool:
+    with WorkerPool(workers, heartbeat_s=heartbeat_s or 0.0) as pool:
         while queue or pool.busy():
             now = time.monotonic()
             # Dispatch every ready entry to available capacity; entries
@@ -298,9 +326,14 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
                 if entry[3] > now:
                     deferred.append(entry)
                     continue
-                index, spec, attempt, _ready = entry
-                pool.submit(index, spec, attempt, job_timeout(spec),
-                            share=share_for(spec))
+                index, spec, attempt, _ready, t_enqueued = entry
+                worker_id = pool.submit(index, spec, attempt,
+                                        job_timeout(spec),
+                                        share=share_for(spec))
+                wait_s = max(0.0, time.monotonic() - t_enqueued)
+                queue_wait.observe(wait_s)
+                _hook(observer, "job_dispatched",
+                      index, spec, attempt, worker_id, wait_s)
             queue.extendleft(reversed(deferred))
 
             if not pool.busy():
@@ -320,8 +353,14 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
                        if wakes else None)
 
             for kind, job, payload in pool.poll(timeout):
+                if kind == HEARTBEAT:
+                    _hook(observer, "worker_heartbeat", payload)
+                    continue
                 if kind == DONE:
                     result, error, detail, wall = payload
+                    _hook(observer, "job_finished", job.index, job.spec,
+                          job.attempt, job.worker_id,
+                          "ok" if error is None else "error", wall)
                     if error is None:
                         finish(job.index, job.spec, result, None, None,
                                wall, attempt=job.attempt,
@@ -330,6 +369,9 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
                         requeue_or_fail(job, error, detail, wall, "error")
                 else:  # the worker process died mid-job
                     wall = time.monotonic() - job.started
+                    _hook(observer, "job_finished", job.index, job.spec,
+                          job.attempt, job.worker_id, "worker-crashed",
+                          wall)
                     error = (f"worker process died while running "
                              f"{job.spec.label} (killed or out of memory)")
                     requeue_or_fail(job, error, None, wall,
@@ -339,6 +381,8 @@ def _run_pooled(pending, workers, job_timeout, retries, retry_backoff_s,
                 job = worker.job
                 pool.kill(worker)
                 wall = time.monotonic() - job.started
+                _hook(observer, "job_finished", job.index, job.spec,
+                      job.attempt, job.worker_id, "timeout", wall)
                 budget = job_timeout(job.spec)
                 error = (f"timed out after {wall:.1f}s "
                          f"(budget {budget:g}s)")
@@ -381,6 +425,9 @@ class Harness:
     #: ``cache_key -> job record`` map from a prior run's artifact
     #: (:func:`repro.harness.artifacts.load_resume_map`).
     resume: Optional[Dict[str, Dict[str, object]]] = None
+    #: Worker liveness-beat period in seconds (``None``/0: disabled).
+    #: Enabled by ``--live`` so the monitor can show per-worker rows.
+    heartbeat_s: Optional[float] = None
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         return run_jobs(
@@ -394,6 +441,7 @@ class Harness:
             retries=self.retries,
             retry_backoff_s=self.retry_backoff_s,
             resume=self.resume,
+            heartbeat_s=self.heartbeat_s,
         )
 
     def run_strict(

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common import rng
 from repro.cpu.multicore import BoundTrace
+from repro.obs.metrics import get_registry
 from repro.workloads.trace import ColumnarTrace
 
 try:  # pragma: no cover - present on every supported platform
@@ -133,6 +134,13 @@ class TraceArena:
         self.publishes = 0
         self.reuses = 0
         self.bytes_published = 0
+        registry = get_registry()
+        self._m_shares = registry.counter(
+            "repro_shm_shares_total",
+            "Trace-share requests by disposition (publish/reuse)")
+        self._m_bytes = registry.counter(
+            "repro_shm_trace_bytes_total",
+            "Trace bytes published by transport (shared/pickled)")
 
     # ------------------------------------------------------------------
     def share_for(self, spec) -> Optional[TraceShare]:
@@ -143,10 +151,12 @@ class TraceArena:
         share = self._shares.get(key)
         if share is not None:
             self.reuses += 1
+            self._m_shares.inc(disposition="reuse")
             return share
         share = self._publish(spec)
         self._shares[key] = share
         self.publishes += 1
+        self._m_shares.inc(disposition="publish")
         return share
 
     def _publish(self, spec) -> TraceShare:
@@ -173,10 +183,12 @@ class TraceArena:
                 columnar.pack_into(segment.buf)
                 segment_name = segment.name
                 self._segments.append(segment)
+                self._m_bytes.inc(nbytes, transport="shared")
             else:  # inline fallback: ship the packed bytes by value
                 buffer = bytearray(nbytes)
                 columnar.pack_into(buffer)
                 payload = bytes(buffer)
+                self._m_bytes.inc(nbytes, transport="pickled")
             self.bytes_published += nbytes
             refs.append(SegmentRef(
                 segment=segment_name,

@@ -1,6 +1,6 @@
 """Observability: zero-cost-when-off telemetry for simulation runs.
 
-Three cooperating pieces, all opt-in per run and all strictly read-only
+Simulator-level pieces, all opt-in per run and all strictly read-only
 with respect to the simulated machine:
 
 - :mod:`repro.obs.timeseries` -- windowed metric recording (MPKI, hit
@@ -12,27 +12,51 @@ with respect to the simulated machine:
 - :mod:`repro.obs.telemetry` -- the bundle that installs/uninstalls
   both onto a design, plus the off-package latency histogram.
 
-:mod:`repro.obs.harness` observes harness runs (job lifecycle on
-wall-clock time); :mod:`repro.obs.report` renders artifacts as ASCII
-sparklines.  When nothing is installed the hot path pays nothing: the
-only hooks are prebound no-ops on rare paths and one ``getattr`` per
-run.
+Fleet-level pieces watch the experiment system itself:
+
+- :mod:`repro.obs.metrics` -- a dependency-free registry of labeled
+  counters/gauges/histograms over the pool, cache, shared-memory
+  dispatch and campaign expansion, exported as JSONL or Prometheus
+  text;
+- :mod:`repro.obs.harness` -- harness-run observation (job lifecycle
+  on wall-clock time, one Perfetto track per pool worker);
+- :mod:`repro.obs.live` -- the ``--live`` per-worker dashboard fed by
+  worker heartbeats;
+- :mod:`repro.obs.report` -- ASCII sparkline rendering of artifacts.
+
+When nothing is installed the hot path pays nothing: the only hooks are
+prebound no-ops on rare paths, shared null metric instruments, and one
+``getattr`` per run.
 """
 
-from repro.obs.events import EventTracer, null_event
+from repro.obs.events import EventTracer, merge_perfetto_files, null_event
 from repro.obs.harness import HarnessObserver
+from repro.obs.live import CompositeObserver, LiveMonitor
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
 from repro.obs.report import render_timeseries, sparkline
 from repro.obs.telemetry import Telemetry, make_telemetry
 from repro.obs.timeseries import TimeseriesRecorder, load_timeseries
 
 __all__ = [
+    "CompositeObserver",
     "EventTracer",
     "HarnessObserver",
+    "LiveMonitor",
+    "MetricsRegistry",
     "Telemetry",
     "TimeseriesRecorder",
+    "get_registry",
     "load_timeseries",
     "make_telemetry",
+    "merge_perfetto_files",
+    "metrics_enabled",
     "null_event",
     "render_timeseries",
+    "set_registry",
     "sparkline",
 ]

@@ -111,18 +111,28 @@ class EventTracer:
     # Export
     # ------------------------------------------------------------------
     def to_perfetto_dict(self, process_name: str = "repro",
-                         pid: int = 0) -> Dict[str, object]:
+                         pid: int = 0,
+                         thread_names: Optional[Dict[int, str]] = None,
+                         ) -> Dict[str, object]:
         """Build the Chrome trace-event JSON object.
 
         Events are sorted by timestamp (stable, so properly nested B/E
         pairs emitted at identical timestamps keep their order) and
         timestamps are converted from simulation nanoseconds to the
-        microseconds the format specifies.
+        microseconds the format specifies.  ``thread_names`` labels tid
+        tracks (``{0: "run", 1: "worker 0"}``) via ``thread_name``
+        metadata events -- how per-worker tracks get their names in the
+        Perfetto UI.
         """
         trace_events: List[Dict[str, object]] = [{
             "ph": "M", "pid": pid, "tid": 0, "ts": 0,
             "name": "process_name", "args": {"name": process_name},
         }]
+        for tid, name in sorted((thread_names or {}).items()):
+            trace_events.append({
+                "ph": "M", "pid": pid, "tid": tid, "ts": 0,
+                "name": "thread_name", "args": {"name": name},
+            })
         for ts_ns, phase, cat, name, dur_ns, tid, args in sorted(
                 self._events, key=lambda e: e[0]):
             record: Dict[str, object] = {
@@ -145,8 +155,46 @@ class EventTracer:
         }
 
     def to_perfetto(self, path: str, process_name: str = "repro",
-                    pid: int = 0) -> None:
+                    pid: int = 0,
+                    thread_names: Optional[Dict[int, str]] = None) -> None:
         """Write the trace as Perfetto-loadable JSON."""
         with open(path, "w") as handle:
-            json.dump(self.to_perfetto_dict(process_name, pid), handle)
+            json.dump(self.to_perfetto_dict(process_name, pid,
+                                            thread_names), handle)
             handle.write("\n")
+
+
+def merge_perfetto_files(paths, out_path: str) -> Dict[str, object]:
+    """Merge trace files into one Perfetto-loadable JSON document.
+
+    Each input keeps its own process track: events of input *i* are
+    re-pidded to ``i``, so a harness-lifecycle trace (pid 0, one thread
+    per worker) and a sim-level telemetry trace (pid 1) land side by
+    side in one timeline instead of colliding on pid 0.  ``otherData``
+    drop ledgers are summed -- a merged trace must not launder away
+    what its inputs shed.  Returns the merged document.
+    """
+    events: List[Dict[str, object]] = []
+    other = {"emitted": 0, "retained": 0, "dropped": 0}
+    sources = []
+    for new_pid, path in enumerate(paths):
+        with open(path) as handle:
+            doc = json.load(handle)
+        sources.append(path)
+        for event in doc.get("traceEvents", []):
+            event = dict(event)
+            event["pid"] = new_pid
+            events.append(event)
+        for key in other:
+            value = doc.get("otherData", {}).get(key)
+            if isinstance(value, (int, float)):
+                other[key] += value
+    merged = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": other | {"merged_from": sources},
+    }
+    with open(out_path, "w") as handle:
+        json.dump(merged, handle)
+        handle.write("\n")
+    return merged

@@ -8,6 +8,15 @@ whether it came from the cache, how the error count grew.  The
 :class:`HarnessObserver` records exactly that, on ``time.monotonic()``,
 and exports the same two artifact kinds as simulator telemetry: a
 Perfetto trace of job slices and a progress time-series.
+
+The trace carries one thread track per pool worker (tid = worker id +
+1; tid 0 is the run-level track): the runner's dispatch hook paints a
+queue-wait slice, each attempt's completion paints an execution slice
+tagged with its status (``ok``/``error``/``timeout``/
+``worker-crashed``), and heartbeats land as instant ticks -- so a
+stall, a retry storm, or one slow worker is visible as a shape, not a
+number.  The export is mergeable with a sim-level telemetry trace via
+:func:`repro.obs.events.merge_perfetto_files`.
 """
 
 from __future__ import annotations
@@ -41,6 +50,9 @@ class HarnessObserver:
         #: job; the arena wrote each segment only once.
         self.trace_bytes_pickled = 0
         self.trace_bytes_shared = 0
+        self.heartbeats = 0
+        #: Worker ids seen via the lifecycle hooks (names their tracks).
+        self.worker_ids: set = set()
         #: Progress samples, one per completed job (columnar).
         self.columns: Dict[str, List[float]] = {
             "t_ns": [], "jobs_done": [], "cache_hits": [], "errors": [],
@@ -97,6 +109,57 @@ class HarnessObserver:
         self.columns["trace_bytes_shared"].append(
             float(self.trace_bytes_shared))
 
+    # ------------------------------------------------------------------
+    # Per-attempt lifecycle (invoked by the pooled runner when present)
+    # ------------------------------------------------------------------
+    def job_dispatched(self, index: int, spec, attempt: int,
+                       worker_id: int, queue_wait_s: float) -> None:
+        """One attempt left the queue for a worker.
+
+        Painted as a queue-wait slice ending now on the worker's track:
+        in the Perfetto timeline, dead air before a job's execution
+        slice is literally the time it spent waiting.
+        """
+        now_ns = self._now_ns()
+        tid = worker_id + 1
+        self.worker_ids.add(worker_id)
+        wait_ns = queue_wait_s * 1e9
+        self.tracer.event(
+            "queue", "wait", max(0.0, now_ns - wait_ns), dur_ns=wait_ns,
+            tid=tid, args={"job": spec.label, "attempt": attempt},
+        )
+
+    def job_finished(self, index: int, spec, attempt: int, worker_id: int,
+                     status: str, wall_s: float) -> None:
+        """One attempt ended on a worker (terminal or about to retry).
+
+        Unlike :meth:`job_done` -- one event per *job*, on the run track
+        -- this fires once per *attempt*, on the worker's track, so
+        timeouts and crashed attempts that later succeed still leave
+        their slice behind.
+        """
+        now_ns = self._now_ns()
+        tid = worker_id + 1
+        self.worker_ids.add(worker_id)
+        wall_ns = wall_s * 1e9
+        self.tracer.event(
+            "exec", spec.label, max(0.0, now_ns - wall_ns),
+            dur_ns=wall_ns, tid=tid,
+            args={"status": status, "attempt": attempt},
+        )
+
+    def worker_heartbeat(self, payload: dict) -> None:
+        """Liveness beat from a busy worker (instant tick on its track)."""
+        self.heartbeats += 1
+        worker_id = int(payload.get("worker", 0))
+        self.worker_ids.add(worker_id)
+        self.tracer.event(
+            "hb", "heartbeat", self._now_ns(), tid=worker_id + 1,
+            args={"job": payload.get("label"),
+                  "elapsed_s": payload.get("elapsed_s"),
+                  "accesses_done": payload.get("accesses_done")},
+        )
+
     def job_retry(self, spec, attempt: int, error: str) -> None:
         """Record one retry decision (job failed, another attempt granted).
 
@@ -117,9 +180,18 @@ class HarnessObserver:
         self._finished = True
         self.tracer.end("harness", self.label, self._now_ns())
         if self.trace_path is not None:
-            self.tracer.to_perfetto(self.trace_path, process_name=self.label)
+            self.tracer.to_perfetto(self.trace_path,
+                                    process_name=self.label,
+                                    thread_names=self.thread_names())
         if self.timeseries_path is not None:
             self.to_timeseries_jsonl(self.timeseries_path)
+
+    def thread_names(self) -> Dict[int, str]:
+        """Track labels for the export: the run plus each worker seen."""
+        names = {0: "run"}
+        for worker_id in sorted(self.worker_ids):
+            names[worker_id + 1] = f"worker {worker_id}"
+        return names
 
     # ------------------------------------------------------------------
     def to_timeseries_jsonl(self, path: str) -> None:

@@ -1,0 +1,443 @@
+"""Fleet-level metrics: a dependency-free registry of labeled instruments.
+
+Simulator telemetry (PR 4) watches the *simulated machine*; this module
+watches the *experiment system itself* -- worker spawns and crashes,
+result-cache traffic, shared-memory dispatch volume, campaign expansion
+-- through the three instrument shapes every metrics stack converges
+on:
+
+- :class:`Counter` -- monotonically increasing totals (``inc``);
+- :class:`Gauge` -- instantaneous levels (``set``/``inc``/``dec``);
+- :class:`HistogramMetric` -- bucketed distributions (``observe``).
+
+Instruments are labeled: one ``Counter`` named
+``repro_cache_lookups_total`` holds a separate series per label set
+(``outcome="hit"`` vs ``outcome="miss"``), exactly like Prometheus
+client libraries, and the registry exports in both of the formats the
+rest of the repo's artifact discipline expects:
+
+- :meth:`MetricsRegistry.to_jsonl` -- one JSON record per series,
+  round-trippable via :meth:`MetricsRegistry.from_jsonl`;
+- :meth:`MetricsRegistry.to_prometheus` -- the text exposition format,
+  pasteable into any Prometheus/OpenMetrics scraper or ``promtool``.
+
+Zero overhead when off is non-negotiable here like everywhere else in
+``repro.obs``: a disabled registry hands every caller the shared
+:data:`NULL_INSTRUMENT`, whose methods are empty -- instrumented sites
+hold the instrument they fetched at construction time and pay one no-op
+method call on *rare* events (a job lands, a worker dies), never per
+access.  The global registry (:func:`get_registry`) starts disabled
+unless ``$REPRO_METRICS`` enables it; the CLI's ``--metrics PATH``
+installs an enabled registry for one run and snapshots it at the end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Environment switch: ``1``/``on``/``true`` arms the global registry.
+METRICS_ENV = "REPRO_METRICS"
+
+#: Default histogram bucket upper bounds (seconds-flavoured: harness
+#: latencies span sub-millisecond cache hits to multi-minute jobs).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0, 300.0)
+
+#: Canonical label-set key: sorted ``(name, value)`` pairs.
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _NullInstrument:
+    """The shared no-op a disabled registry hands to every caller.
+
+    Implements the union of the Counter/Gauge/HistogramMetric emission
+    APIs so call sites never branch on whether metrics are enabled.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        return None
+
+    def set(self, value: float, **labels) -> None:
+        return None
+
+    def observe(self, value: float, **labels) -> None:
+        return None
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class _Instrument:
+    """Shared naming/locking plumbing of the three live instruments."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(
+                f"metric name must be alphanumeric/underscore, got {name!r}"
+            )
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    # Subclasses fill these in.
+    def samples(self) -> List[dict]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonic total, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        with self._lock:
+            return [
+                {"name": self.name, "type": self.kind, "help": self.help,
+                 "labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class Gauge(_Instrument):
+    """Instantaneous level, one series per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        with self._lock:
+            return [
+                {"name": self.name, "type": self.kind, "help": self.help,
+                 "labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class HistogramMetric(_Instrument):
+    """Bucketed distribution with Prometheus-style cumulative exposition.
+
+    Bucket bounds are upper-inclusive edges; every observation also
+    lands in the implicit ``+Inf`` bucket, and ``sum``/``count`` ride
+    along so rates and means are recoverable.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        # Per label set: (per-bound counts, +Inf count folded at end,
+        # sum, count).
+        self._series: Dict[_LabelKey, List[float]] = {}
+        self._sums: Dict[_LabelKey, float] = {}
+        self._counts: Dict[_LabelKey, int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._series.get(key)
+            if counts is None:
+                counts = [0.0] * (len(self.bounds) + 1)
+                self._series[key] = counts
+            placed = False
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[index] += 1
+                    placed = True
+                    break
+            if not placed:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def count(self, **labels) -> int:
+        return self._counts.get(_label_key(labels), 0)
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        with self._lock:
+            return [
+                {"name": self.name, "type": self.kind, "help": self.help,
+                 "labels": dict(key), "bounds": list(self.bounds),
+                 "buckets": list(self._series[key]),
+                 "sum": self._sums[key], "count": self._counts[key]}
+                for key in sorted(self._series)
+            ]
+
+
+class MetricsRegistry:
+    """Named instruments plus the two exporters.
+
+    Fetching an already-registered name returns the same instrument
+    (idempotent registration is what lets every ``ResultCache`` or
+    ``WorkerPool`` constructed during one run share series); fetching a
+    name under a different instrument kind raises.  A disabled registry
+    returns :data:`NULL_INSTRUMENT` from every factory and exports
+    nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _register(self, cls, name: str, help: str, **kwargs):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  ) -> HistogramMetric:
+        return self._register(HistogramMetric, name, help, buckets=buckets)
+
+    def instruments(self) -> List[_Instrument]:
+        with self._lock:
+            return [self._instruments[name]
+                    for name in sorted(self._instruments)]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[dict]:
+        """Every series of every instrument as plain JSON-safe dicts."""
+        records: List[dict] = []
+        for instrument in self.instruments():
+            records.extend(instrument.samples())
+        return records
+
+    def to_jsonl(self, path: str) -> None:
+        """One JSON record per series (the artifact form)."""
+        with open(path, "w") as handle:
+            for record in self.snapshot():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "MetricsRegistry":
+        """Rebuild a registry whose :meth:`snapshot` equals the file's.
+
+        The round trip is what ``repro status``-style tooling relies on:
+        a snapshot written by one process must reconstruct to identical
+        series in another.
+        """
+        registry = cls(enabled=True)
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                labels = record.get("labels", {})
+                kind = record.get("type")
+                if kind == "counter":
+                    registry.counter(
+                        record["name"], record.get("help", "")
+                    ).inc(record["value"], **labels)
+                elif kind == "gauge":
+                    registry.gauge(
+                        record["name"], record.get("help", "")
+                    ).set(record["value"], **labels)
+                elif kind == "histogram":
+                    histogram = registry.histogram(
+                        record["name"], record.get("help", ""),
+                        buckets=record["bounds"],
+                    )
+                    key = _label_key(labels)
+                    with histogram._lock:
+                        histogram._series[key] = [
+                            float(b) for b in record["buckets"]
+                        ]
+                        histogram._sums[key] = float(record["sum"])
+                        histogram._counts[key] = int(record["count"])
+                else:
+                    raise ValueError(
+                        f"unknown metric type {kind!r} in {path}"
+                    )
+        return registry
+
+    def to_prometheus(self) -> str:
+        """Text exposition format (the ``/metrics`` wire format)."""
+        lines: List[str] = []
+        for instrument in self.instruments():
+            samples = instrument.samples()
+            if not samples:
+                continue
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} "
+                             f"{_escape_help(instrument.help)}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            for sample in samples:
+                if instrument.kind == "histogram":
+                    lines.extend(_histogram_exposition(sample))
+                else:
+                    lines.append(
+                        f"{sample['name']}"
+                        f"{_format_labels(sample['labels'])} "
+                        f"{_format_value(sample['value'])}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> None:
+        """Snapshot to ``path``: ``.prom`` suffix selects exposition
+        text, anything else the JSONL artifact form."""
+        if path.endswith(".prom"):
+            with open(path, "w") as handle:
+                handle.write(self.to_prometheus())
+        else:
+            self.to_jsonl(path)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: Dict[str, str], extra: Optional[Tuple[str, str]]
+                   = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                    for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_exposition(sample: dict) -> List[str]:
+    """Cumulative ``_bucket`` series plus ``_sum``/``_count``."""
+    lines: List[str] = []
+    labels = sample["labels"]
+    cumulative = 0.0
+    for bound, count in zip(sample["bounds"], sample["buckets"]):
+        cumulative += count
+        lines.append(
+            f"{sample['name']}_bucket"
+            f"{_format_labels(labels, ('le', _format_value(bound)))} "
+            f"{_format_value(cumulative)}"
+        )
+    cumulative += sample["buckets"][-1]
+    lines.append(
+        f"{sample['name']}_bucket"
+        f"{_format_labels(labels, ('le', '+Inf'))} "
+        f"{_format_value(cumulative)}"
+    )
+    lines.append(f"{sample['name']}_sum{_format_labels(labels)} "
+                 f"{_format_value(sample['sum'])}")
+    lines.append(f"{sample['name']}_count{_format_labels(labels)} "
+                 f"{_format_value(sample['count'])}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# The process-global registry instrumented call sites fetch from.
+# ----------------------------------------------------------------------
+
+_REGISTRY: Optional[MetricsRegistry] = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def metrics_enabled() -> bool:
+    """``$REPRO_METRICS`` truthiness (off by default)."""
+    raw = os.environ.get(METRICS_ENV, "").strip().lower()
+    return raw in ("1", "on", "true", "yes")
+
+
+def get_registry() -> MetricsRegistry:
+    """The global registry; created on first use, honouring the env."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        with _REGISTRY_LOCK:
+            if _REGISTRY is None:
+                _REGISTRY = MetricsRegistry(enabled=metrics_enabled())
+    return _REGISTRY
+
+
+def set_registry(registry: Optional[MetricsRegistry],
+                 ) -> Optional[MetricsRegistry]:
+    """Swap the global registry (``None`` resets to env-default lazy
+    creation); returns the previous one so callers can restore it."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        previous = _REGISTRY
+        _REGISTRY = registry
+    return previous

@@ -77,6 +77,17 @@ def render_timeseries(
               f"{meta.get('unit', '?')}")
     lines.append(title)
 
+    trace_events = meta.get("trace_events")
+    if isinstance(trace_events, dict):
+        dropped = int(trace_events.get("dropped", 0))
+        health = ("ring buffer full -- raise EventTracer capacity"
+                  if dropped else "no capture loss")
+        lines.append(
+            f"events: {trace_events.get('emitted', 0)} emitted, "
+            f"{trace_events.get('retained', 0)} retained, "
+            f"{dropped} dropped ({health})"
+        )
+
     t_axis = columns.get("t_ns")
     if t_axis:
         lines.append(f"span: 0 .. {_format(t_axis[-1])} ns")

@@ -102,7 +102,15 @@ class Telemetry:
             name = self._design.name if self._design is not None else "repro"
             self.tracer.to_perfetto(trace_path, process_name=name)
         if timeseries_path is not None and self.timeseries is not None:
-            extra = {"workload": workload} if workload else None
+            extra = {"workload": workload} if workload else {}
+            if self.tracer is not None:
+                # Capture-health ledger: lets `repro report` say whether
+                # the ring buffer shed events during this run.
+                extra["trace_events"] = {
+                    "emitted": self.tracer.emitted,
+                    "retained": len(self.tracer.events()),
+                    "dropped": self.tracer.dropped,
+                }
             if timeseries_path.endswith(".csv"):
                 self.timeseries.to_csv(timeseries_path)
             else:

@@ -1,0 +1,237 @@
+"""Metrics-registry tests: instruments, exposition, round trip, gating.
+
+The registry is the fleet-level half of ``repro.obs``: these tests pin
+the instrument semantics (counters only go up, labels are separate
+series, histograms bucket correctly), the two export formats (JSONL
+must round-trip bit-identically, the Prometheus text must be valid
+exposition with cumulative buckets), and the zero-cost-off contract (a
+disabled registry hands out the shared null singleton and the env
+switch arms the global one).
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_ENV,
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_label_set(self, registry):
+        lookups = registry.counter("c_total", "cache lookups")
+        lookups.inc(outcome="hit")
+        lookups.inc(2, outcome="hit")
+        lookups.inc(outcome="miss")
+        assert lookups.value(outcome="hit") == 3
+        assert lookups.value(outcome="miss") == 1
+        assert lookups.value(outcome="stale") == 0
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        busy = registry.gauge("g_busy")
+        busy.set(3)
+        busy.inc()
+        busy.dec(2)
+        assert busy.value() == 2
+
+    def test_histogram_buckets_and_moments(self, registry):
+        waits = registry.histogram("h_wait", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            waits.observe(value)
+        assert waits.count() == 4
+        assert waits.sum() == pytest.approx(6.05)
+        (sample,) = waits.samples()
+        # Non-cumulative internal form: [<=0.1, <=1.0, +Inf].
+        assert sample["buckets"] == [1, 2, 1]
+
+    def test_label_order_is_canonical(self, registry):
+        c = registry.counter("c_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_bad_metric_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("c_total")
+        second = registry.counter("c_total")
+        assert first is second
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("c_total")
+        with pytest.raises(ValueError):
+            registry.gauge("c_total")
+
+    def test_disabled_registry_hands_out_the_null_singleton(self):
+        disabled = MetricsRegistry(enabled=False)
+        assert disabled.counter("c_total") is NULL_INSTRUMENT
+        assert disabled.gauge("g") is NULL_INSTRUMENT
+        assert disabled.histogram("h") is NULL_INSTRUMENT
+        assert disabled.snapshot() == []
+        # The null instrument absorbs the full emission API.
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.dec()
+        NULL_INSTRUMENT.set(1.0)
+        NULL_INSTRUMENT.observe(0.5, outcome="hit")
+
+    def test_snapshot_orders_by_instrument_name(self, registry):
+        registry.counter("z_total").inc()
+        registry.counter("a_total").inc()
+        names = [record["name"] for record in registry.snapshot()]
+        assert names == ["a_total", "z_total"]
+
+
+class TestExports:
+    def _populate(self, registry):
+        lookups = registry.counter("repro_cache_lookups_total", "lookups")
+        lookups.inc(3, outcome="hit")
+        lookups.inc(outcome="miss")
+        registry.gauge("repro_pool_busy_workers", "busy now").set(2)
+        waits = registry.histogram("repro_queue_wait_seconds", "wait",
+                                   buckets=(0.1, 1.0))
+        waits.observe(0.05)
+        waits.observe(0.5)
+        waits.observe(5.0)
+
+    def test_jsonl_round_trip_is_bit_identical(self, registry, tmp_path):
+        self._populate(registry)
+        path = tmp_path / "metrics.jsonl"
+        registry.to_jsonl(str(path))
+        rebuilt = MetricsRegistry.from_jsonl(str(path))
+        assert rebuilt.snapshot() == registry.snapshot()
+        # And a second hop stays fixed (the round trip is a fixpoint).
+        again = tmp_path / "again.jsonl"
+        rebuilt.to_jsonl(str(again))
+        assert again.read_text() == path.read_text()
+
+    def test_prometheus_exposition_shape(self, registry):
+        self._populate(registry)
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE repro_cache_lookups_total counter" in lines
+        assert "# HELP repro_cache_lookups_total lookups" in lines
+        assert 'repro_cache_lookups_total{outcome="hit"} 3' in lines
+        assert 'repro_cache_lookups_total{outcome="miss"} 1' in lines
+        assert "# TYPE repro_pool_busy_workers gauge" in lines
+        assert "repro_pool_busy_workers 2" in lines
+        # Histogram buckets are cumulative and close with +Inf.
+        assert 'repro_queue_wait_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_queue_wait_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_queue_wait_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_queue_wait_seconds_sum 5.55" in lines
+        assert "repro_queue_wait_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("c_total").inc(label='say "hi"\nbye')
+        text = registry.to_prometheus()
+        assert 'label="say \\"hi\\"\\nbye"' in text
+
+    def test_write_dispatches_on_suffix(self, registry, tmp_path):
+        self._populate(registry)
+        prom = tmp_path / "m.prom"
+        jsonl = tmp_path / "m.jsonl"
+        registry.write(str(prom))
+        registry.write(str(jsonl))
+        assert prom.read_text().startswith("# HELP")
+        assert jsonl.read_text().startswith("{")
+
+    def test_empty_registry_exports_empty(self, registry, tmp_path):
+        assert registry.to_prometheus() == ""
+        path = tmp_path / "empty.jsonl"
+        registry.to_jsonl(str(path))
+        assert path.read_text() == ""
+        assert MetricsRegistry.from_jsonl(str(path)).snapshot() == []
+
+
+class TestGlobalRegistry:
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.delenv(METRICS_ENV, raising=False)
+        assert not metrics_enabled()
+        for value in ("1", "on", "true", "yes", "ON"):
+            monkeypatch.setenv(METRICS_ENV, value)
+            assert metrics_enabled()
+        monkeypatch.setenv(METRICS_ENV, "0")
+        assert not metrics_enabled()
+
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry(enabled=True)
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is not mine
+
+    def test_default_registry_is_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(METRICS_ENV, raising=False)
+        previous = set_registry(None)  # force lazy re-creation
+        try:
+            registry = get_registry()
+            assert not registry.enabled
+            assert registry.counter("x_total") is NULL_INSTRUMENT
+        finally:
+            set_registry(previous)
+
+
+class TestInstrumentedCallSites:
+    """The harness layers feed real series when a registry is armed."""
+
+    def test_result_cache_emits_lookup_series(self, tmp_path):
+        from repro.harness.cache import ResultCache
+        from repro.harness.jobs import JobSpec, execute_job
+        spec = JobSpec(design="tagless", workload="sphinx3", accesses=2_000)
+        mine = MetricsRegistry(enabled=True)
+        previous = set_registry(mine)
+        try:
+            cache = ResultCache(str(tmp_path / "cache"))
+            assert cache.get(spec) is None
+            cache.put(spec, execute_job(spec))
+            assert cache.get(spec) is not None
+        finally:
+            set_registry(previous)
+        lookups = mine.counter("repro_cache_lookups_total")
+        assert lookups.value(outcome="miss") == 1
+        assert lookups.value(outcome="hit") == 1
+        assert mine.counter("repro_cache_stores_total").value() == 1
+
+    def test_campaign_expand_counts_points(self):
+        from repro.campaign.compile import expand
+        from repro.campaign.spec import CampaignSpec
+        spec = CampaignSpec.from_dict({
+            "name": "m", "repetitions": 2,
+            "factors": {"design": ["tagless", "no-l3"],
+                        "workload": ["mcf"]},
+            "fixed": {"accesses": 1000},
+            "metrics": ["ipc"],
+        })
+        mine = MetricsRegistry(enabled=True)
+        previous = set_registry(mine)
+        try:
+            jobs = expand(spec)
+        finally:
+            set_registry(previous)
+        cells = mine.counter("repro_campaign_cells_expanded_total")
+        points = mine.counter("repro_campaign_points_expanded_total")
+        assert cells.value() == 2
+        assert points.value() == len(jobs) == 4

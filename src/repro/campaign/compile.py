@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common import machine as machine_mod
@@ -80,13 +81,25 @@ def _job_spec(campaign: CampaignSpec, cell: Cell, repetition: int,
             f"unknown design {design!r}; expected one of "
             f"{', '.join(ALL_DESIGN_NAMES)}"
         )
-    workload = kwargs.get("workload")
-    if workload is None:
-        raise ConfigurationError(
-            "campaign needs 'workload' as a factor or fixed setting"
+    scenario = kwargs.get("scenario")
+    if scenario is not None:
+        # Multi-tenant point: the scenario file is the workload recipe.
+        # ``workload`` becomes a display label (defaulting to the file's
+        # basename), not a profile/mix lookup.
+        kind = "tenants"
+        kwargs.setdefault(
+            "workload",
+            os.path.splitext(os.path.basename(str(scenario)))[0],
         )
-    kind = infer_workload_kind(str(workload))
-    kwargs.setdefault("num_cores", 1 if kind == "spec" else 4)
+        kwargs.setdefault("num_cores", 4)
+    else:
+        workload = kwargs.get("workload")
+        if workload is None:
+            raise ConfigurationError(
+                "campaign needs 'workload' as a factor or fixed setting"
+            )
+        kind = infer_workload_kind(str(workload))
+        kwargs.setdefault("num_cores", 1 if kind == "spec" else 4)
     kwargs["workload_kind"] = kind
     kwargs["base_seed"] = campaign.repetition_seed(cell, repetition)
     return JobSpec(**kwargs)

@@ -61,12 +61,18 @@ FACTOR_FIELDS: Dict[str, str] = {
     "warmup": "warmup_fraction",
     "parsec_threads": "parsec_threads",
     "nc_threshold": "nc_threshold",
+    "scenario": "scenario",
 }
 
 #: Metrics a campaign may reduce -- the scalar keys of
-#: :func:`repro.harness.artifacts.job_metrics`.
+#: :func:`repro.harness.artifacts.job_metrics`.  The ``tenant_*`` and
+#: ``resize_*`` keys exist only on multi-tenant / resizable-design jobs;
+#: reducing them in a campaign whose jobs do not produce them fails at
+#: reduction time with a missing-metric diagnostic.
 METRIC_KEYS = ("ipc", "instructions", "elapsed_ms",
-               "mean_l3_latency_cycles", "energy_j", "edp_js")
+               "mean_l3_latency_cycles", "energy_j", "edp_js",
+               "tenant_p99_demand_ns", "tenant_ipc_min",
+               "resize_remapped_pages")
 
 
 def is_machine_name(name: str) -> bool:

@@ -411,6 +411,43 @@ def build_parser() -> argparse.ArgumentParser:
     merge_trace.add_argument("--out", required=True, metavar="PATH",
                              help="merged Perfetto JSON output path")
 
+    tenants = sub.add_parser(
+        "tenants",
+        help="replay a multi-tenant scenario (context-switched schedule, "
+             "optional runtime cache resizing) and report per-tenant QoS",
+    )
+    tenants.add_argument("scenario", metavar="SCENARIO",
+                         help="scenario JSON file "
+                              "(see examples/studies/multitenant_scenario"
+                              ".json)")
+    tenants.add_argument("--design", default="tagless-resizable",
+                         choices=ALL_DESIGN_NAMES,
+                         help="design to replay the schedule on "
+                              "(default tagless-resizable; the scenario's "
+                              "resize events only apply to designs that "
+                              "support a capacity schedule)")
+    tenants.add_argument("--cache-mb", type=int, default=512,
+                         help="DRAM cache size in MB (default 512: with "
+                              "--scale 512 and --tlb-scale 32 the cache "
+                              "stays comfortably above total TLB reach)")
+    tenants.add_argument("--cores", type=int, default=4,
+                         help="cores the tenants are scheduled onto")
+    tenants.add_argument("--scale", type=int, default=512,
+                         help="capacity scale-down factor (default 512)")
+    tenants.add_argument("--replacement", default="fifo",
+                         choices=("fifo", "lru", "clock"),
+                         help="victim selection policy")
+    tenants.add_argument("--tlb-scale", type=int, default=32,
+                         help="TLB reach scale-down matching --scale "
+                              "(default 32)")
+    tenants.add_argument("--validate", action="store_true",
+                         help="run with the invariant checker installed "
+                              "(sweeps hold mid-resize)")
+    tenants.add_argument("--every", type=int, default=None,
+                         help="accesses between invariant sweeps")
+    tenants.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+
     validate = sub.add_parser(
         "validate",
         help="grade the paper's headline claims against this build",
@@ -1572,6 +1609,77 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_tenants(args: argparse.Namespace) -> int:
+    """Replay a multi-tenant scenario and print the QoS breakdown."""
+    from repro.workloads.tenants import TenantScenarioSpec, build_schedule
+
+    try:
+        scenario = TenantScenarioSpec.from_file(args.scenario)
+        config = dataclasses.replace(
+            build_system(
+                cache_megabytes=args.cache_mb,
+                num_cores=args.cores,
+                replacement=args.replacement,
+                capacity_scale=args.scale,
+            ),
+            tlb_scale=args.tlb_scale,
+        )
+        schedule = build_schedule(scenario, num_cores=args.cores)
+        result = Simulator(config).run_tenants(
+            args.design, schedule,
+            validate=args.validate or None,
+            validate_every=args.every,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+    if args.json:
+        print(json.dumps({
+            "design": args.design,
+            "scenario": scenario.to_dict(),
+            "schedule_digest": schedule.digest(),
+            "ipc": result.ipc_sum,
+            "elapsed_ms": result.elapsed_ns / 1e6,
+            "energy_j": result.total_energy_j,
+            "context_switches": result.stats["context_switches"],
+            "tenants": result.tenants,
+            "resize_events": result.resize_events,
+        }, indent=2))
+        return 0
+
+    print(f"scenario {scenario.name}: {len(schedule.tenants)} tenants on "
+          f"{args.cores} cores, {schedule.total_accesses} accesses, "
+          f"design {args.design}")
+    print(f"  ipc {result.ipc_sum:.3f}  elapsed "
+          f"{result.elapsed_ns / 1e6:.3f} ms  "
+          f"context switches {int(result.stats['context_switches'])}  "
+          f"tlb entries flushed "
+          f"{int(result.stats['context_switch_tlb_entries'])}")
+    print(f"  {'tenant':>6s} {'profile':>10s} {'arrive':>6s} "
+          f"{'footprint':>9s} {'instrs':>9s} {'ipc':>7s} {'mpki':>7s} "
+          f"{'p50 ns':>8s} {'p99 ns':>8s}")
+    for t in result.tenants:
+        print(f"  {t['tenant']:>6d} {t['profile']:>10s} "
+              f"{t['arrival_round']:>6d} {t['footprint_pages']:>9d} "
+              f"{t['instructions']:>9d} {t['ipc']:>7.3f} {t['mpki']:>7.2f} "
+              f"{t['p50_demand_ns']:>8.0f} {t['p99_demand_ns']:>8.0f}")
+    worst = max(result.tenants, key=lambda t: t["p99_demand_ns"],
+                default=None)
+    if worst is not None:
+        print(f"  worst p99 demand: tenant {worst['tenant']} "
+              f"({worst['profile']}) at {worst['p99_demand_ns']:.0f} ns")
+    if result.resize_events:
+        print(f"  resize events ({len(result.resize_events)}):")
+        print(f"    {'at':>8s} {'from':>6s} {'to':>6s} {'remap':>6s} "
+              f"{'evict':>6s} {'shoot':>6s} {'budget':>6s}")
+        for e in result.resize_events:
+            print(f"    {e['at_access']:>8d} {e['from_pages']:>6d} "
+                  f"{e['to_pages']:>6d} {e['remapped']:>6d} "
+                  f"{e['evicted']:>6d} {e['shootdowns']:>6d} "
+                  f"{e['max_remap']:>6d}")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Structural and differential validation (the `repro check` gate).
 
@@ -1610,12 +1718,23 @@ def cmd_check(args: argparse.Namespace) -> int:
     simulator = Simulator(config)
     failures = 0
 
+    # Designs with a runtime capacity schedule get one armed mid-run --
+    # shrink at a third of the trace, grow back at two thirds -- so the
+    # invariant sweeps exercise the resize state machine, not just the
+    # steady state.  Designs without one ignore the schedule.
+    resize_schedule = [
+        (max(1, accesses // 3), 0.75),
+        (max(2, 2 * accesses // 3), 1.0),
+    ]
+
     print(f"invariant sweep: {len(args.design)} designs x {accesses} "
           f"accesses ({args.workload})")
     for design in args.design:
         try:
             simulator.run(design, bindings, validate=True,
-                          validate_every=every)
+                          validate_every=every,
+                          resize_schedule=resize_schedule,
+                          max_remap_per_resize=8)
             print(f"  [ok]   {design}")
         except InvariantViolation as exc:
             failures += 1
@@ -1660,6 +1779,7 @@ _COMMANDS = {
     "report": cmd_report,
     "status": cmd_status,
     "merge-trace": cmd_merge_trace,
+    "tenants": cmd_tenants,
     "validate": cmd_validate,
     "check": cmd_check,
 }

@@ -75,6 +75,16 @@ class CacheMapTLB:
         """Invalidate one mapping (Section 6: eviction consistency)."""
         return self.hierarchy.invalidate(virtual_page)
 
+    def flush(self) -> int:
+        """Full cTLB shootdown (context switch); returns entries dropped.
+
+        Delegates to the hierarchy's callback-firing flush so every
+        cache-mapped translation clears its GIPT residence bit on the
+        way out -- a bare :meth:`repro.vm.tlb.TLB.flush` would strand
+        the bits and freeze eviction.
+        """
+        return self.hierarchy.flush()
+
     def resident(self, virtual_page: int) -> bool:
         return self.hierarchy.resident(virtual_page)
 

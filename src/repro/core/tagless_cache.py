@@ -282,6 +282,11 @@ class TaglessCacheEngine:
     # ------------------------------------------------------------------
     # Invariant checks and reporting
     # ------------------------------------------------------------------
+    def gated_pages(self) -> tuple:
+        """Cache pages power-gated out of service (resizable subclass
+        hook; the fixed-capacity engine gates nothing)."""
+        return ()
+
     def check_invariants(self) -> None:
         """Raise SimulationError if cache and GIPT state have diverged.
 
@@ -292,16 +297,20 @@ class TaglessCacheEngine:
         live = len(self.gipt)
         free_pages = self.free_queue.free_pages()
         pending_pages = self.free_queue.pending_pages()
+        gated_pages = self.gated_pages()
         free = len(free_pages)
         pending = len(pending_pages)
-        if live + free + pending != self.capacity_pages:
+        gated = len(gated_pages)
+        if live + free + pending + gated != self.capacity_pages:
             raise SimulationError(
                 f"block accounting broken: {live} live + {free} free + "
-                f"{pending} pending != capacity {self.capacity_pages}"
+                f"{pending} pending + {gated} gated != capacity "
+                f"{self.capacity_pages}"
             )
-        # The free pool, the eviction queue and the GIPT's live entries
-        # must partition the cache: any overlap means a block is
-        # simultaneously "holds data" and "free to allocate".
+        # The free pool, the eviction queue, the gated region and the
+        # GIPT's live entries must partition the cache: any overlap
+        # means a block is simultaneously "holds data" and "free to
+        # allocate" (or powered off while in use).
         free_set = set(free_pages)
         if len(free_set) != free:
             raise SimulationError("free pool holds duplicate cache pages")
@@ -310,6 +319,13 @@ class TaglessCacheEngine:
         if overlap:
             raise SimulationError(
                 f"HP free pool and eviction queue share pages {overlap}"
+            )
+        gated_set = set(gated_pages)
+        overlap = gated_set & (free_set | pending_set
+                               | set(self.gipt.cached_cache_pages()))
+        if overlap:
+            raise SimulationError(
+                f"power-gated region overlaps in-service pages {overlap}"
             )
         live_overlap = free_set.intersection(self.gipt.cached_cache_pages())
         if live_overlap:

@@ -75,6 +75,11 @@ def select_kernel(design: MemorySystemDesign):
     """Pick the fused kernel for ``design`` (None -> scalar only)."""
     if _observed(design):
         return None
+    if not getattr(design, "batchable", True):
+        # Designs that override the scalar access path (the resizable
+        # tagless variant's capacity-schedule trigger) must not be fed
+        # to kernels that bypass it.
+        return None
     if isinstance(design, TaglessDesign):
         engine = design.engine
         ondie = design.ondie[0]

@@ -38,6 +38,13 @@ class SimulationResult:
     mean_l3_latency_cycles: float
     energy: EnergyBreakdown
     stats: Dict[str, float]
+    #: Per-tenant QoS breakdown (multi-tenant runs only; see
+    #: :mod:`repro.cpu.scheduled`): one dict per tenant with IPC, MPKI
+    #: and demand-latency percentiles.
+    tenants: Optional[List[Dict[str, object]]] = None
+    #: Per-event resize churn ledger (resizable designs with an armed
+    #: capacity schedule only).
+    resize_events: Optional[List[Dict[str, object]]] = None
 
     @property
     def ipc_sum(self) -> float:
@@ -87,6 +94,8 @@ class Simulator:
         validate_every: Optional[int] = None,
         telemetry=None,
         engine: Optional[str] = None,
+        resize_schedule: Optional[Sequence] = None,
+        max_remap_per_resize: int = 64,
     ) -> SimulationResult:
         """Simulate ``bindings`` on a fresh instance of ``design_name``.
 
@@ -141,6 +150,14 @@ class Simulator:
         if validate is None:
             validate = validation_enabled()
         design = self.build_design(design_name)
+        if resize_schedule:
+            # ``(at_access, capacity)`` events for runtime-resizable
+            # designs; other designs ignore the schedule so design
+            # sweeps can share one spec.
+            arm = getattr(design, "set_resize_schedule", None)
+            if arm is not None:
+                arm(resize_schedule,
+                    max_remap_per_resize=max_remap_per_resize)
         checker = None
         if validate:
             every = (check_interval() if validate_every is None
@@ -211,9 +228,93 @@ class Simulator:
             mean_l3_latency_cycles=design.mean_l3_latency_cycles(),
             energy=energy,
             stats=design.stats(),
+            resize_events=self._resize_ledger(design),
         )
 
     def run_batched(self, design_name: str, bindings: Sequence[BoundTrace],
                     **kwargs) -> SimulationResult:
         """:meth:`run` under the batched engine (same results, faster)."""
         return self.run(design_name, bindings, engine="batched", **kwargs)
+
+    @staticmethod
+    def _resize_ledger(design) -> Optional[List[Dict[str, object]]]:
+        log = getattr(design, "resize_log", None)
+        if not log:
+            return None
+        return [dict(event) for event in log]
+
+    def run_tenants(
+        self,
+        design_name: str,
+        schedule,
+        validate: Optional[bool] = None,
+        validate_every: Optional[int] = None,
+        telemetry=None,
+    ) -> SimulationResult:
+        """Replay a multi-tenant :class:`~repro.workloads.tenants.TenantSchedule`.
+
+        The scenario's own resize schedule (if any) is armed on designs
+        that support one.  There is no warmup split: tenant arrival and
+        departure *are* the phenomenon under study, so the measured
+        window is the whole schedule.  Returns a
+        :class:`SimulationResult` whose ``tenants`` field carries the
+        per-tenant QoS breakdown (IPC, MPKI, demand-latency tail).
+        """
+        from repro.cpu.scheduled import run_schedule
+
+        scenario = schedule.scenario
+        if schedule.num_cores != self.config.num_cores:
+            raise ConfigurationError(
+                f"schedule was built for {schedule.num_cores} cores but "
+                f"the machine has {self.config.num_cores}"
+            )
+        if schedule.total_span_pages > self.config.off_package_pages:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} spans "
+                f"{schedule.total_span_pages} pages of off-package DRAM "
+                f"but the machine only has "
+                f"{self.config.off_package_pages}; shrink the tenant "
+                "count/footprints or grow the machine"
+            )
+        if validate is None:
+            validate = validation_enabled()
+        design = self.build_design(design_name)
+        if scenario.resize:
+            arm = getattr(design, "set_resize_schedule", None)
+            if arm is not None:
+                arm(scenario.resize,
+                    max_remap_per_resize=scenario.max_remap_per_resize)
+        checker = None
+        if validate:
+            every = (check_interval() if validate_every is None
+                     else validate_every)
+            checker = InvariantChecker(design, every=every)
+            checker.install()  # before run_schedule binds access_cycles
+        if telemetry is not None:
+            telemetry.install(design)
+            if checker is not None:
+                checker.tracer = telemetry.tracer
+        cores, qos, switch_stats = run_schedule(design, schedule)
+        if telemetry is not None:
+            telemetry.uninstall()
+        if checker is not None:
+            checker.run_checks()
+            checker.uninstall()
+        elapsed_ns = max((c.cycles for c in cores), default=0.0)
+        elapsed_ns /= self.config.core.frequency_ghz
+        energy = compute_energy(design, cores, elapsed_ns)
+        stats = design.stats()
+        stats["context_switches"] = float(switch_stats["context_switches"])
+        stats["context_switch_tlb_entries"] = float(
+            switch_stats["tlb_flush_entries"]
+        )
+        return SimulationResult(
+            design_name=design_name,
+            cores=cores,
+            elapsed_ns=elapsed_ns,
+            mean_l3_latency_cycles=design.mean_l3_latency_cycles(),
+            energy=energy,
+            stats=stats,
+            tenants=[qos[tid].to_dict() for tid in sorted(qos)],
+            resize_events=self._resize_ledger(design),
+        )

@@ -13,6 +13,7 @@ from repro.designs.ideal import IdealDesign
 from repro.designs.no_l3 import NoL3Design
 from repro.designs.sram_tag import SRAMTagDesign
 from repro.designs.tagless_design import TaglessDesign
+from repro.designs.tagless_resizable import TaglessResizableDesign
 
 _FACTORIES: Dict[str, Callable[[SystemConfig], MemorySystemDesign]] = {
     NoL3Design.name: NoL3Design,
@@ -21,6 +22,7 @@ _FACTORIES: Dict[str, Callable[[SystemConfig], MemorySystemDesign]] = {
     TaglessDesign.name: TaglessDesign,
     IdealDesign.name: IdealDesign,
     AlloyCacheDesign.name: AlloyCacheDesign,
+    TaglessResizableDesign.name: TaglessResizableDesign,
 }
 
 #: Every registered design, in registration order -- the single source

@@ -35,6 +35,15 @@ class TaglessDesign(MemorySystemDesign):
 
     name = "tagless"
 
+    #: Engine class hook: the resizable variant substitutes its gated
+    #: engine without re-deriving the constructor wiring.
+    _engine_class = TaglessCacheEngine
+
+    #: Fused batched kernels apply; subclasses that override the access
+    #: path (runtime resizing) clear this so the scalar loop -- which
+    #: honours the override -- always runs.
+    batchable = True
+
     def __init__(self, config: SystemConfig):
         self.engine: Optional[TaglessCacheEngine] = None
         super().__init__(config)
@@ -46,7 +55,7 @@ class TaglessDesign(MemorySystemDesign):
                 "cached page would be eviction-protected and fills would "
                 "starve.  Increase the cache size or the tlb_scale."
             )
-        self.engine = TaglessCacheEngine(
+        self.engine = self._engine_class(
             capacity_pages=config.cache_pages,
             cache_config=config.dram_cache,
             core_config=config.core,

@@ -25,7 +25,7 @@ from repro.cpu.simulator import SimulationResult
 
 def job_metrics(result: SimulationResult) -> Dict[str, object]:
     """The headline metrics recorded per job (a superset of `repro run`)."""
-    return {
+    metrics = {
         "ipc": result.ipc_sum,
         "per_core_ipc": [core.ipc for core in result.cores],
         "instructions": result.instructions,
@@ -34,6 +34,20 @@ def job_metrics(result: SimulationResult) -> Dict[str, object]:
         "energy_j": result.total_energy_j,
         "edp_js": result.edp,
     }
+    if result.tenants:
+        # Multi-tenant QoS headlines: the *worst* tenant's tail and the
+        # *slowest* tenant's throughput -- the numbers an SLO watches.
+        metrics["tenant_p99_demand_ns"] = max(
+            t["p99_demand_ns"] for t in result.tenants
+        )
+        metrics["tenant_ipc_min"] = min(
+            t["ipc"] for t in result.tenants
+        )
+    if result.resize_events is not None:
+        metrics["resize_remapped_pages"] = float(sum(
+            e.get("remapped", 0) for e in result.resize_events
+        ))
+    return metrics
 
 
 def default_artifact_path(cache_dir: str, name: str) -> str:

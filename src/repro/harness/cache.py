@@ -44,7 +44,7 @@ def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
 
 def simulation_result_to_dict(result: SimulationResult) -> Dict[str, object]:
     """Flatten a :class:`SimulationResult` into JSON-safe primitives."""
-    return {
+    data = {
         "design_name": result.design_name,
         "cores": [dataclasses.asdict(core) for core in result.cores],
         "elapsed_ns": result.elapsed_ns,
@@ -52,6 +52,13 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, object]:
         "energy": dataclasses.asdict(result.energy),
         "stats": dict(result.stats),
     }
+    # Optional sections (multi-tenant / resizable runs): written only
+    # when present, so pre-existing entries stay byte-identical.
+    if result.tenants is not None:
+        data["tenants"] = [dict(t) for t in result.tenants]
+    if result.resize_events is not None:
+        data["resize_events"] = [dict(e) for e in result.resize_events]
+    return data
 
 
 def simulation_result_from_dict(data: Dict[str, object]) -> SimulationResult:
@@ -63,6 +70,8 @@ def simulation_result_from_dict(data: Dict[str, object]) -> SimulationResult:
         mean_l3_latency_cycles=data["mean_l3_latency_cycles"],
         energy=EnergyBreakdown(**data["energy"]),
         stats=dict(data["stats"]),
+        tenants=data.get("tenants"),
+        resize_events=data.get("resize_events"),
     )
 
 

@@ -41,7 +41,7 @@ from repro.workloads.spec import SPEC_PROFILES, spec_profile
 SCHEMA_VERSION = 1
 
 #: Recognised workload binding recipes.
-WORKLOAD_KINDS = ("spec", "mix", "parsec")
+WORKLOAD_KINDS = ("spec", "mix", "parsec", "tenants")
 
 #: Memoised :func:`code_fingerprint` value (None = not yet computed).
 _FINGERPRINT: Optional[str] = None
@@ -134,6 +134,13 @@ class JobSpec:
     #: ``None`` (the Table 3 default).  The default spec is excluded
     #: from the cache key so pre-existing keys stay byte-identical.
     machine: MachineSpec = DEFAULT_MACHINE
+    #: Path to a multi-tenant scenario JSON
+    #: (:class:`repro.workloads.tenants.TenantScenarioSpec`).  Setting it
+    #: switches the job to the ``tenants`` workload kind: the scenario
+    #: file -- not ``accesses``/``warmup_fraction`` -- describes the
+    #: replay.  The cache key folds the file's *content* hash, so
+    #: editing a scenario in place invalidates its cached results.
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.machine is None:
@@ -148,6 +155,12 @@ class JobSpec:
             raise ConfigurationError(
                 f"machine must be a MachineSpec, preset name or mapping,"
                 f" got {type(self.machine).__name__}"
+            )
+        if self.scenario is not None and not self.workload_kind:
+            object.__setattr__(self, "workload_kind", "tenants")
+        if self.workload_kind == "tenants" and self.scenario is None:
+            raise ConfigurationError(
+                "workload kind 'tenants' needs a scenario file path"
             )
         if not self.workload_kind:
             object.__setattr__(
@@ -257,6 +270,16 @@ class JobSpec:
         # therefore the key.
         if self.machine.is_default:
             payload.pop("machine", None)
+        if self.scenario is None:
+            # Pre-scenario keys stay byte-identical.
+            payload.pop("scenario", None)
+        else:
+            # Content-address the scenario: the *file path* is identity
+            # for humans, but two machines (or two edits) with different
+            # contents at the same path must not share results.
+            from repro.workloads.tenants import TenantScenarioSpec
+            payload["scenario"] = \
+                TenantScenarioSpec.from_file(self.scenario).spec_hash()
         payload["base_seed"] = self.effective_seed
         payload["schema"] = SCHEMA_VERSION
         payload["code"] = code_fingerprint()
@@ -282,6 +305,11 @@ class JobSpec:
 
     def bindings(self) -> List[BoundTrace]:
         """Generate the per-core trace bindings this spec describes."""
+        if self.workload_kind == "tenants":
+            raise ConfigurationError(
+                "tenant jobs replay a context-switched schedule, not "
+                "per-core trace bindings; execute_job handles them"
+            )
         if self.workload_kind == "mix":
             traces = mix_traces(
                 self.workload,
@@ -328,6 +356,23 @@ def execute_job(spec: JobSpec, bindings=None) -> SimulationResult:
     if override:
         rng.BASE_SEED = spec.base_seed
     try:
+        if spec.workload_kind == "tenants":
+            from repro.workloads.tenants import (
+                TenantScenarioSpec,
+                build_schedule,
+            )
+
+            scenario = TenantScenarioSpec.from_file(spec.scenario)
+            schedule = build_schedule(
+                scenario, num_cores=spec.num_cores,
+                base_seed=spec.effective_seed,
+            )
+            simulator = Simulator(spec.system_config())
+            return simulator.run_tenants(
+                spec.design,
+                schedule,
+                validate=spec.validate or None,
+            )
         if bindings is None:
             bindings = spec.bindings()
         non_cacheable = None

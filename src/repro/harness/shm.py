@@ -147,6 +147,11 @@ class TraceArena:
         """Manifest for ``spec``'s traces (publishing them if new)."""
         if not self.enabled:
             return None
+        if spec.workload_kind == "tenants":
+            # Tenant jobs replay a context-switched schedule built
+            # in-worker from the scenario file; there are no per-core
+            # bindings to publish.
+            return None
         key = _recipe_key(spec)
         share = self._shares.get(key)
         if share is not None:

@@ -167,7 +167,14 @@ class TLBHierarchy:
         l2_map = self.l2._map
         evicted = None
         if virtual_page in l2_map:
-            del l2_map[virtual_page]
+            # Overwriting a live translation *replaces* its payload: the
+            # old entry leaves TLB reach exactly like a capacity victim,
+            # so the eviction callback must fire for it too -- otherwise
+            # a cache-mapped payload would strand its GIPT residence bit
+            # and block that page's eviction forever.
+            replaced = l2_map.pop(virtual_page)
+            if self.on_l2_evict is not None and replaced is not entry:
+                self.on_l2_evict(virtual_page, replaced)
         elif len(l2_map) >= self.l2.capacity:
             victim = next(iter(l2_map))
             evicted = (victim, l2_map.pop(victim))
@@ -199,6 +206,24 @@ class TLBHierarchy:
         if self.on_l2_evict is not None:
             self.on_l2_evict(virtual_page, entry)
         return True
+
+    def flush(self) -> int:
+        """Full shootdown of both levels (context switch without ASIDs).
+
+        Unlike :meth:`TLB.flush`, which silently clears one level, this
+        fires the eviction callback for every L2 entry: each translation
+        leaves TLB reach, and residence bookkeeping (the GIPT bits in
+        the tagless design) must observe that.  Returns the number of L2
+        entries dropped.
+        """
+        l2_map = self.l2._map
+        dropped = len(l2_map)
+        if self.on_l2_evict is not None:
+            for virtual_page, entry in list(l2_map.items()):
+                self.on_l2_evict(virtual_page, entry)
+        l2_map.clear()
+        self.l1._map.clear()
+        return dropped
 
     def resident(self, virtual_page: int) -> bool:
         """Is the page within this core's TLB reach?"""

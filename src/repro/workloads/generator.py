@@ -39,6 +39,10 @@ class TraceGenerator:
         capacity_scale: int = 64,
         seed_tag: object = 0,
     ):
+        if capacity_scale < 1:
+            raise ConfigurationError(
+                f"capacity_scale must be >= 1, got {capacity_scale}"
+            )
         self.profile = profile
         self.capacity_scale = capacity_scale
         self.seed_tag = seed_tag

@@ -8,7 +8,7 @@ study).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.workloads.generator import TraceGenerator
@@ -42,10 +42,14 @@ def mix_programs(mix_name: str) -> Tuple[str, str, str, str]:
 
 def mix_traces(
     mix_name: str,
-    accesses_per_program: int = None,
+    accesses_per_program: Optional[int] = None,
     capacity_scale: int = 64,
 ) -> List[AccessTrace]:
     """Generate the four traces of a mix (one per core/process)."""
+    if capacity_scale < 1:
+        raise ConfigurationError(
+            f"capacity_scale must be >= 1, got {capacity_scale}"
+        )
     traces = []
     for slot, program in enumerate(mix_programs(mix_name)):
         generator = TraceGenerator(

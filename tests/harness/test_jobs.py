@@ -162,6 +162,7 @@ class TestMachineField:
         payload.pop("timeout_s", None)
         payload.pop("engine", None)
         payload.pop("machine", None)  # the pre-machine payload shape
+        payload.pop("scenario", None)  # ...and pre-tenant-scenario
         payload["base_seed"] = spec.effective_seed
         payload["schema"] = SCHEMA_VERSION
         payload["code"] = code_fingerprint()

@@ -1,0 +1,159 @@
+"""Mutation-kill tests for the TLB shootdown/eviction notification paths.
+
+The "TLB hit => cache hit" guarantee rests on one bookkeeping rule:
+*every* way a translation can leave L2 reach -- capacity eviction,
+overwrite, single-VPN shootdown, full flush -- must fire the eviction
+callback exactly once, or a GIPT residence bit strands and that cache
+page can never be evicted again.  Each test here is written to fail if
+one specific notification site is deleted or its condition inverted.
+"""
+
+import pytest
+
+from repro.designs.registry import create_design
+from repro.validate.invariants import InvariantChecker
+from repro.vm.tlb import TLBEntry, TLBHierarchy
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, virtual_page, entry):
+        self.events.append((virtual_page, entry))
+
+
+@pytest.fixture
+def recorder():
+    return Recorder()
+
+
+def hierarchy(recorder, l1=2, l2=4):
+    return TLBHierarchy(l1, l2, on_l2_evict=recorder)
+
+
+class TestSingleVpnShootdown:
+    def test_invalidate_fires_callback_once(self, recorder):
+        h = hierarchy(recorder)
+        entry = TLBEntry(target_page=7)
+        h.install(0x10, entry)
+        assert h.invalidate(0x10) is True
+        assert recorder.events == [(0x10, entry)]
+
+    def test_invalidate_clears_both_levels(self, recorder):
+        h = hierarchy(recorder)
+        h.install(0x10, TLBEntry(target_page=7))
+        h.invalidate(0x10)
+        assert not h.l1.contains(0x10)
+        assert not h.l2.contains(0x10)
+
+    def test_invalidate_absent_vpn_is_silent(self, recorder):
+        h = hierarchy(recorder)
+        h.install(0x10, TLBEntry(target_page=7))
+        assert h.invalidate(0x99) is False
+        assert recorder.events == []
+
+    def test_invalidate_l1_only_residue_still_notifies_from_l2(
+            self, recorder):
+        """The L2 copy is the authoritative one: invalidation must report
+        and notify based on L2 membership even if L1 already lost it."""
+        h = hierarchy(recorder)
+        entry = TLBEntry(target_page=7)
+        h.install(0x10, entry)
+        h.l1.invalidate(0x10)  # L1 dropped it independently
+        assert h.invalidate(0x10) is True
+        assert recorder.events == [(0x10, entry)]
+
+
+class TestInstallPaths:
+    def test_overwrite_fires_callback_for_replaced_payload(self, recorder):
+        h = hierarchy(recorder)
+        old = TLBEntry(target_page=7)
+        new = TLBEntry(target_page=9)
+        h.install(0x10, old)
+        h.install(0x10, new)
+        assert recorder.events == [(0x10, old)]
+        assert h.l2.peek(0x10) is new
+
+    def test_reinstall_same_entry_object_does_not_notify(self, recorder):
+        """Promoting the identical payload (an LRU refresh) is not a
+        departure from TLB reach."""
+        h = hierarchy(recorder)
+        entry = TLBEntry(target_page=7)
+        h.install(0x10, entry)
+        h.install(0x10, entry)
+        assert recorder.events == []
+
+    def test_capacity_eviction_notifies_and_preserves_inclusion(
+            self, recorder):
+        h = hierarchy(recorder, l1=2, l2=2)
+        first = TLBEntry(target_page=1)
+        h.install(0x1, first)
+        h.install(0x2, TLBEntry(target_page=2))
+        h.install(0x3, TLBEntry(target_page=3))  # evicts 0x1 from L2
+        assert recorder.events == [(0x1, first)]
+        # Inclusion: the L2 victim must leave L1 too.
+        assert not h.l1.contains(0x1)
+        assert h.l2.contains(0x2) and h.l2.contains(0x3)
+
+
+class TestFullFlush:
+    def test_flush_notifies_every_l2_entry(self, recorder):
+        h = hierarchy(recorder)
+        entries = {vpn: TLBEntry(target_page=vpn + 100)
+                   for vpn in (0x1, 0x2, 0x3)}
+        for vpn, entry in entries.items():
+            h.install(vpn, entry)
+        dropped = h.flush()
+        assert dropped == 3
+        assert dict(recorder.events) == {v: e for v, e in entries.items()}
+        assert len(h.l1) == 0 and len(h.l2) == 0
+
+    def test_flush_empty_is_silent(self, recorder):
+        h = hierarchy(recorder)
+        assert h.flush() == 0
+        assert recorder.events == []
+
+
+class TestTaglessEndToEnd:
+    """The callbacks above drive GIPT residence bits in the tagless
+    design; these close the loop on the invariant itself."""
+
+    def warm(self, small_config, tiny_trace):
+        from tests.designs.test_reset_stats import drive
+
+        design = create_design("tagless", small_config)
+        drive(design, tiny_trace)
+        return design
+
+    def resident_pages(self, design):
+        return [(ca, e) for ca, e in design.engine.gipt._entries.items()
+                if e.residence_mask]
+
+    def test_shootdown_clears_residence_bit(self, small_config, tiny_trace):
+        design = self.warm(small_config, tiny_trace)
+        live = self.resident_pages(design)
+        assert live, "warmup left nothing TLB-resident"
+        cache_page, entry = live[0]
+        assert design.ctlbs[0].shootdown(entry.pte.virtual_page)
+        assert entry.residence_mask == 0
+
+    def test_ctlb_flush_unfreezes_eviction(self, small_config, tiny_trace):
+        """A context-switch flush must clear every residence bit: a
+        level-skipping flush (``TLB.flush``) would strand them all and
+        freeze eviction for good."""
+        design = self.warm(small_config, tiny_trace)
+        assert self.resident_pages(design)
+        dropped = design.ctlbs[0].flush()
+        assert dropped > 0
+        assert not self.resident_pages(design)
+        checker = InvariantChecker(design, every=1)
+        checker.run_checks()
+
+    def test_invariants_hold_after_single_shootdowns(self, small_config,
+                                                     tiny_trace):
+        design = self.warm(small_config, tiny_trace)
+        for _, entry in list(self.resident_pages(design)):
+            design.ctlbs[0].shootdown(entry.pte.virtual_page)
+        checker = InvariantChecker(design, every=1)
+        checker.run_checks()

@@ -1,0 +1,46 @@
+"""Table 5 mix generation: argument validation regression tests."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.mixes import MIX_ORDER, MIXES, mix_programs, mix_traces
+from repro.workloads.spec import spec_profile
+
+
+def test_every_mix_has_four_programs():
+    assert set(MIX_ORDER) == set(MIXES)
+    for name in MIX_ORDER:
+        assert len(mix_programs(name)) == 4
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(ConfigurationError, match="unknown mix"):
+        mix_programs("MIX9")
+
+
+def test_capacity_scale_validated_before_generation():
+    """Regression: a zero/negative scale used to reach the footprint
+    arithmetic and fail with a bare numpy error deep in the generator."""
+    with pytest.raises(ConfigurationError, match="capacity_scale"):
+        mix_traces("MIX1", accesses_per_program=100, capacity_scale=0)
+    with pytest.raises(ConfigurationError, match="capacity_scale"):
+        TraceGenerator(spec_profile("mcf"), capacity_scale=-1)
+
+
+def test_default_accesses_per_program():
+    """Regression: ``accesses_per_program=None`` (the annotated default)
+    must fall through to each profile's own default length."""
+    traces = mix_traces("MIX1", accesses_per_program=None,
+                        capacity_scale=4096)
+    assert len(traces) == 4
+    for trace, program in zip(traces, mix_programs("MIX1")):
+        assert trace.name == program
+        assert len(trace) == spec_profile(program).default_accesses
+
+
+def test_private_address_spaces_are_seeded_per_slot():
+    """The four slots must not share RNG streams even when a program
+    repeats across mixes."""
+    a, b = mix_traces("MIX1", accesses_per_program=200, capacity_scale=512)[:2]
+    assert a.virtual_pages.tolist() != b.virtual_pages.tolist()
